@@ -1,0 +1,99 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every file in benchmarks/ regenerates one of the paper's tables or
+figures.  Results are printed (run with ``-s`` to see them live) and also
+written to ``benchmarks/results/<name>.txt`` so a full
+``pytest benchmarks/ --benchmark-only`` leaves a reviewable record.
+
+Environment knobs:
+
+* ``REPRO_BENCH_WORKLOADS`` — comma-separated workload names, or ``all``
+  for the full 57-workload sweep (slow).  Default: a 6-workload
+  representative mix (the paper's call-outs plus a quiet workload).
+* ``REPRO_BENCH_ENTRIES`` — trace length per core (default 6000).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import render_series, render_table
+from repro.params import SystemConfig, default_config
+from repro.sim import simulate_baseline
+from repro.workloads.suites import ALL_WORKLOADS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+DEFAULT_WORKLOADS = (
+    "429.mcf",
+    "482.sphinx3",
+    "510.parest",
+    "471.omnetpp",
+    "ycsb-a",
+    "541.leela",
+)
+
+
+def bench_workloads() -> tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+    if raw == "all":
+        return tuple(w.name for w in ALL_WORKLOADS)
+    if raw:
+        return tuple(name.strip() for name in raw.split(",") if name.strip())
+    return DEFAULT_WORKLOADS
+
+
+def bench_entries() -> int:
+    return int(os.environ.get("REPRO_BENCH_ENTRIES", "6000"))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_table(name: str, title: str, headers, rows) -> None:
+    emit(name, render_table(title, headers, rows))
+
+
+def emit_series(name: str, title: str, x_label: str, series) -> None:
+    emit(name, render_series(title, x_label, series))
+
+
+@pytest.fixture(scope="session")
+def config() -> SystemConfig:
+    return default_config()
+
+
+@pytest.fixture(scope="session")
+def baselines(config):
+    """Insecure-baseline runs shared by all performance figures."""
+    entries = bench_entries()
+    return {
+        name: simulate_baseline(name, config=config, n_entries=entries)
+        for name in bench_workloads()
+    }
+
+
+@pytest.fixture(scope="session")
+def variant_runs(config, baselines):
+    """All five evaluated variants over the bench workloads
+    (shared by Figures 14 and 15)."""
+    from repro.sim import EVALUATED_VARIANTS, simulate_workload
+
+    entries = bench_entries()
+    runs = {}
+    for variant in EVALUATED_VARIANTS:
+        runs[variant] = {
+            name: simulate_workload(
+                name, config=config, variant=variant, n_entries=entries
+            )
+            for name in bench_workloads()
+        }
+    return runs

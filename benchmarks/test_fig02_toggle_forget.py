@@ -1,0 +1,34 @@
+"""Figure 2: Panopticon's Toggle+Forget vulnerability.
+
+Paper shape: >100K unmitigated activations at queue size 4, ~25-35K at
+queue size 16, independent of the t-bit / mitigation threshold.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_series
+
+from repro.security import figure2_series
+
+
+def test_fig02_toggle_forget(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure2_series(queue_sizes=tuple(range(4, 17)), t_bits=(6, 8, 10)),
+        rounds=1, iterations=1,
+    )
+    emit_series(
+        "fig02",
+        "Figure 2: max unmitigated ACTs under Toggle+Forget",
+        "queue_size",
+        {f"t_bit={t}": pts for t, pts in series.items()},
+    )
+    by_q = {q: v for q, v in series[6]}
+    assert by_q[4] > 100_000
+    assert 20_000 < by_q[16] < 40_000
+    # Independent of the threshold (the paper's key observation).
+    for q in (4, 10, 16):
+        values = [dict(series[t])[q] for t in (6, 8, 10)]
+        assert max(values) - min(values) < 0.1 * max(values)
+    # Monotonically decreasing in queue size.
+    values = [by_q[q] for q in range(4, 17)]
+    assert all(a > b for a, b in zip(values, values[1:]))

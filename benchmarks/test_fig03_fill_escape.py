@@ -1,0 +1,37 @@
+"""Figure 3: Fill+Escape on full-counter-comparison Panopticon.
+
+Paper shape: U-shaped curve over the mitigation threshold with its
+minimum (~1.3K unmitigated ACTs; ours ~1.15K) near threshold 512 —
+insecure below T_RH ~1280 regardless of queue size.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_series
+
+from repro.security import figure3_series
+
+THRESHOLDS = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def test_fig03_fill_escape(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure3_series(thresholds=THRESHOLDS, queue_sizes=(4, 8, 16, 32, 64)),
+        rounds=1, iterations=1,
+    )
+    emit_series(
+        "fig03",
+        "Figure 3: max unmitigated ACTs under Fill+Escape",
+        "threshold",
+        {f"Q={q}": pts for q, pts in series.items()},
+    )
+    by_m = dict(series[4])
+    minimum = min(by_m.values())
+    best_m = min(by_m, key=by_m.get)
+    assert best_m in (256, 512, 1024)
+    assert minimum > 1_000  # insecure at sub-1280 T_RH
+    # U-shape: both ends exceed the middle.
+    assert by_m[64] > by_m[512]
+    assert by_m[4096] > by_m[512]
+    # Queue size is secondary (curves nearly overlap).
+    assert abs(dict(series[64])[512] - by_m[512]) < 0.2 * by_m[512]

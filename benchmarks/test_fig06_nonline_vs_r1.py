@@ -1,0 +1,30 @@
+"""Figure 6: online-phase activations (N_online) vs starting pool R1.
+
+Paper: N_online reaches 46 / 30 / 23 for PRAC-1 / 2 / 4 at R1 = 128K.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_series
+
+from repro.security import figure6_series
+
+R1_VALUES = [4, 20_000, 40_000, 60_000, 80_000, 100_000, 120_000, 128 * 1024]
+PAPER_MAX = {1: 46, 2: 30, 4: 23}
+
+
+def test_fig06_nonline_vs_r1(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure6_series(r1_values=R1_VALUES), rounds=1, iterations=1
+    )
+    emit_series(
+        "fig06",
+        "Figure 6: N_online vs R1 (paper max: 46/30/23)",
+        "R1",
+        {f"PRAC-{n}": pts for n, pts in series.items()},
+    )
+    for n_mit, expected in PAPER_MAX.items():
+        at_max = dict(series[n_mit])[128 * 1024]
+        assert abs(at_max - expected) <= 2
+        values = [v for _r1, v in series[n_mit]]
+        assert values == sorted(values)  # monotone in R1

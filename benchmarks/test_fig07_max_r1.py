@@ -1,0 +1,30 @@
+"""Figure 7: maximum starting row pool R1 vs Back-Off threshold.
+
+Paper: 50K-62K at N_BO = 1 (PRAC-1..4), dropping to ~2K at N_BO = 256.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_series
+
+from repro.security import NBO_SWEEP, figure7_series
+
+
+def test_fig07_max_r1(benchmark):
+    series = benchmark.pedantic(lambda: figure7_series(), rounds=1, iterations=1)
+    emit_series(
+        "fig07",
+        "Figure 7: max R1 vs N_BO (paper: 50K-62K @1, ~2K @256)",
+        "N_BO",
+        {f"PRAC-{n}": pts for n, pts in series.items()},
+    )
+    at1 = {n: dict(series[n])[1] for n in (1, 2, 4)}
+    assert 45_000 <= at1[1] <= 57_000
+    assert 58_000 <= at1[4] <= 70_000
+    assert at1[1] < at1[2] < at1[4]
+    for n in (1, 2, 4):
+        at256 = dict(series[n])[256]
+        assert 1_800 <= at256 <= 2_400
+        values = [v for _nbo, v in series[n]]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+    assert list(dict(series[1])) == list(NBO_SWEEP)

@@ -1,0 +1,35 @@
+"""Figure 8: T_RH values for which PRAC-N is secure, vs N_BO.
+
+Paper: 44/29/22 at N_BO=1; 71/58/52 at the default N_BO=32;
+289/279/274 at N_BO=256.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_series
+
+from repro.security import figure8_series
+
+PAPER = {
+    1: {1: 44, 32: 71, 256: 289},
+    2: {1: 29, 32: 58, 256: 279},
+    4: {1: 22, 32: 52, 256: 274},
+}
+
+
+def test_fig08_secure_trh(benchmark):
+    series = benchmark.pedantic(lambda: figure8_series(), rounds=1, iterations=1)
+    emit_series(
+        "fig08",
+        "Figure 8: secure T_RH vs N_BO (paper: 44/29/22 @1, 71/58/52 @32)",
+        "N_BO",
+        {f"PRAC-{n}": pts for n, pts in series.items()},
+    )
+    for n_mit, points in PAPER.items():
+        measured = dict(series[n_mit])
+        for n_bo, expected in points.items():
+            assert abs(measured[n_bo] - expected) <= 4, (n_mit, n_bo)
+        values = [v for _nbo, v in series[n_mit]]
+        assert values == sorted(values)  # T_RH grows with N_BO
+    # More RFMs per Alert -> lower defended threshold.
+    assert dict(series[1])[1] > dict(series[2])[1] > dict(series[4])[1]

@@ -1,0 +1,35 @@
+"""Figure 11: maximum R1 with proactive mitigation vs without.
+
+Paper: for N_BO >= 16 proactive mitigation shrinks the pool; at
+N_BO in {128, 256} the Setup phase is fully drained — attack defeated.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_series
+
+from repro.security import figure11_series
+
+
+def test_fig11_max_r1_with_proactive(benchmark):
+    series = benchmark.pedantic(lambda: figure11_series(), rounds=1, iterations=1)
+    flattened = {}
+    for n_mit, pair in series.items():
+        flattened[f"QPRAC-{n_mit}"] = pair["base"]
+        flattened[f"QPRAC-{n_mit}+Pro"] = pair["proactive"]
+    emit_series(
+        "fig11",
+        "Figure 11: max R1 with/without proactive mitigation",
+        "N_BO",
+        flattened,
+    )
+    for n_mit, pair in series.items():
+        base = dict(pair["base"])
+        pro = dict(pair["proactive"])
+        # Attack defeated outright at high N_BO.
+        assert pro[128] == 0 and pro[256] == 0
+        # Substantial reduction at N_BO >= 32.
+        assert pro[32] < 0.75 * base[32]
+        assert pro[64] < 0.25 * base[64]
+        # Negligible effect (can even help the attacker) at N_BO = 1.
+        assert pro[1] >= 0.9 * base[1]

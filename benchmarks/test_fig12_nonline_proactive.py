@@ -1,0 +1,37 @@
+"""Figure 12: N_online with proactive mitigation vs without.
+
+Paper: proactive mitigation lowers N_online by up to ~5 / 2 / 1 for
+QPRAC-1 / 2 / 4.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_series
+
+from repro.security import figure12_series
+
+R1_VALUES = [4, 20_000, 60_000, 100_000, 128 * 1024]
+PAPER_DROP_MAX = {1: 5, 2: 2, 4: 1}
+
+
+def test_fig12_nonline_with_proactive(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure12_series(r1_values=R1_VALUES), rounds=1, iterations=1
+    )
+    flattened = {}
+    for n_mit, pair in series.items():
+        flattened[f"QPRAC-{n_mit}"] = pair["base"]
+        flattened[f"QPRAC-{n_mit}+Pro"] = pair["proactive"]
+    emit_series(
+        "fig12",
+        "Figure 12: N_online with/without proactive mitigation",
+        "R1",
+        flattened,
+    )
+    for n_mit, pair in series.items():
+        base = dict(pair["base"])
+        pro = dict(pair["proactive"])
+        drops = [base[r1] - pro[r1] for r1 in R1_VALUES]
+        assert all(d >= 0 for d in drops)  # proactive never hurts
+        assert max(drops) <= PAPER_DROP_MAX[n_mit] + 2
+        assert max(drops) >= 1 or n_mit == 4  # visible effect

@@ -1,0 +1,35 @@
+"""Figure 13: defended T_RH with proactive mitigation vs without.
+
+Paper: with proactive mitigation the minimum T_RH at N_BO=1 drops to
+40/27/20 (from 44/29/22), and at the default N_BO=32 to 66/55/50
+(from 71/58/52).
+"""
+
+from __future__ import annotations
+
+from conftest import emit_series
+
+from repro.security import figure13_series
+
+PAPER_PRO = {1: {1: 40, 32: 66}, 2: {1: 27, 32: 55}, 4: {1: 20, 32: 50}}
+
+
+def test_fig13_trh_with_proactive(benchmark):
+    series = benchmark.pedantic(lambda: figure13_series(), rounds=1, iterations=1)
+    flattened = {}
+    for n_mit, pair in series.items():
+        flattened[f"QPRAC-{n_mit}"] = pair["base"]
+        flattened[f"QPRAC-{n_mit}+Pro"] = pair["proactive"]
+    emit_series(
+        "fig13",
+        "Figure 13: secure T_RH with/without proactive (paper: 40/27/20 @1)",
+        "N_BO",
+        flattened,
+    )
+    for n_mit, points in PAPER_PRO.items():
+        measured = dict(series[n_mit]["proactive"])
+        for n_bo, expected in points.items():
+            assert abs(measured[n_bo] - expected) <= 3, (n_mit, n_bo)
+        base = dict(series[n_mit]["base"])
+        for n_bo in (1, 32, 64):
+            assert measured[n_bo] <= base[n_bo]

@@ -1,0 +1,62 @@
+"""Figure 17: sensitivity to the PSQ size (1..5 entries).
+
+Paper: QPRAC stays under 1% slowdown at every queue size, slightly
+better at larger sizes; the energy-aware proactive variants stay at ~0%
+across proactive cadences (1 per 1/2/4 tREFI).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_entries, bench_workloads, emit_table
+
+from repro.params import MitigationVariant
+from repro.sim import simulate_workload
+
+
+def test_fig17_psq_size_sensitivity(benchmark, config, baselines):
+    names = list(bench_workloads())[:3]
+    entries = bench_entries()
+
+    def build():
+        rows = []
+        qprac_by_size = {}
+        for size in (1, 2, 3, 4, 5):
+            cfg = config.with_prac(psq_size=size)
+            slow = []
+            for name in names:
+                run = simulate_workload(
+                    name, config=cfg,
+                    variant=MitigationVariant.QPRAC, n_entries=entries,
+                )
+                slow.append(run.slowdown_pct_vs(baselines[name]))
+            mean = sum(slow) / len(slow)
+            qprac_by_size[size] = mean
+            rows.append([size, "qprac", round(mean, 2)])
+        for cadence in (1, 2, 4):
+            cfg = config.with_prac(proactive_every_n_refs=cadence)
+            slow = []
+            for name in names:
+                run = simulate_workload(
+                    name, config=cfg,
+                    variant=MitigationVariant.QPRAC_PROACTIVE_EA,
+                    n_entries=entries,
+                )
+                slow.append(run.slowdown_pct_vs(baselines[name]))
+            rows.append(
+                [5, f"ea 1-per-{cadence}-tREFI",
+                 round(sum(slow) / len(slow), 2)]
+            )
+        return rows, qprac_by_size
+
+    rows, qprac_by_size = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table(
+        "fig17",
+        "Figure 17: slowdown %% vs PSQ size (paper: <1%% everywhere)",
+        ["PSQ size", "variant", "mean slowdown %"],
+        rows,
+    )
+    # All sizes stay small; the 5-entry default is no worse than 1-entry.
+    assert all(v < 2.5 for v in qprac_by_size.values())
+    assert qprac_by_size[5] <= qprac_by_size[1] + 0.3
+    ea_rows = [r for r in rows if str(r[1]).startswith("ea")]
+    assert all(r[2] < 0.8 for r in ea_rows)

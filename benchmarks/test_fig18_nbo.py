@@ -1,0 +1,57 @@
+"""Figure 18: sensitivity to the Back-Off threshold N_BO.
+
+Paper: QPRAC 2.3% at N_BO=16 falling to <=0.8% at 32+; the proactive
+variants <=0.3% at 16 and 0% at 32+.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_entries, bench_workloads, emit_table
+
+from repro.params import MitigationVariant
+from repro.sim import simulate_workload
+
+VARIANTS = (
+    MitigationVariant.QPRAC,
+    MitigationVariant.QPRAC_PROACTIVE,
+    MitigationVariant.QPRAC_PROACTIVE_EA,
+)
+
+
+def test_fig18_nbo_sensitivity(benchmark, config, baselines):
+    names = list(bench_workloads())[:3]
+    entries = bench_entries()
+
+    def build():
+        table = {}
+        for n_bo in (16, 32, 64, 128):
+            cfg = config.with_prac(n_bo=n_bo)
+            for variant in VARIANTS:
+                slow = []
+                for name in names:
+                    run = simulate_workload(
+                        name, config=cfg, variant=variant, n_entries=entries
+                    )
+                    slow.append(run.slowdown_pct_vs(baselines[name]))
+                table[(n_bo, variant)] = sum(slow) / len(slow)
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        [n_bo] + [round(table[(n_bo, v)], 2) for v in VARIANTS]
+        for n_bo in (16, 32, 64, 128)
+    ]
+    emit_table(
+        "fig18",
+        "Figure 18: slowdown %% vs N_BO (paper: 2.3%% @16 -> <=0.8%% @32+)",
+        ["N_BO"] + [v.value for v in VARIANTS],
+        rows,
+    )
+    qprac = {n_bo: table[(n_bo, MitigationVariant.QPRAC)] for n_bo in (16, 32, 64, 128)}
+    # Lower thresholds cost more; >=32 is cheap.
+    assert qprac[16] >= qprac[32] - 0.1
+    assert qprac[32] < 1.5 and qprac[64] < 1.0 and qprac[128] < 1.0
+    for n_bo in (32, 64, 128):
+        assert table[(n_bo, MitigationVariant.QPRAC_PROACTIVE)] < 0.5
+        assert table[(n_bo, MitigationVariant.QPRAC_PROACTIVE_EA)] < 0.5
+    assert table[(16, MitigationVariant.QPRAC_PROACTIVE)] < qprac[16] + 0.2

@@ -1,0 +1,73 @@
+"""Figure 20: QPRAC vs Mithril vs PrIDE across Rowhammer thresholds.
+
+Paper: at T_RH <= 512 both baselines degrade badly (Mithril 69%..10%,
+PrIDE 54%..7% slowdown from T_RH 64..512) while QPRAC+Proactive-EA stays
+at ~0% everywhere; all schemes converge near zero at T_RH = 1024.
+Mithril additionally needs a ~5300-entry CAM per bank vs QPRAC's 5.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_entries, bench_workloads, emit_series
+
+from repro.mitigations import mithril_factory, pride_factory
+from repro.params import MitigationVariant
+from repro.sim import simulate_workload
+
+TRH_VALUES = (64, 256, 1024)
+
+
+def test_fig20_vs_mithril_and_pride(benchmark, config, baselines):
+    names = list(bench_workloads())[:3]
+    entries = bench_entries()
+
+    def build():
+        series = {"Mithril": [], "PrIDE": [], "QPRAC+Pro-EA": []}
+        ea_runs = [
+            simulate_workload(
+                name, config=config,
+                variant=MitigationVariant.QPRAC_PROACTIVE_EA,
+                n_entries=entries,
+            )
+            for name in names
+        ]
+        ea_mean = sum(
+            run.slowdown_pct_vs(baselines[name])
+            for run, name in zip(ea_runs, names)
+        ) / len(names)
+        for t_rh in TRH_VALUES:
+            for label, factory in (
+                ("Mithril", mithril_factory(t_rh)),
+                ("PrIDE", pride_factory(t_rh)),
+            ):
+                slow = []
+                for name in names:
+                    run = simulate_workload(
+                        name, config=config,
+                        defense_factory=factory, n_entries=entries,
+                    )
+                    slow.append(run.slowdown_pct_vs(baselines[name]))
+                series[label].append((t_rh, round(sum(slow) / len(slow), 1)))
+            # QPRAC's N_BO=32 config defends T_RH 66+ regardless of the
+            # sweep value; its cost is flat.
+            series["QPRAC+Pro-EA"].append((t_rh, round(ea_mean, 1)))
+        return series
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_series(
+        "fig20",
+        "Figure 20: slowdown %% vs T_RH "
+        "(paper @64: Mithril 69, PrIDE 54, QPRAC 0)",
+        "T_RH",
+        series,
+    )
+    mithril = dict(series["Mithril"])
+    pride = dict(series["PrIDE"])
+    qprac = dict(series["QPRAC+Pro-EA"])
+    for t_rh in TRH_VALUES:
+        assert mithril[t_rh] >= pride[t_rh] - 1.0, t_rh
+        assert qprac[t_rh] < 1.0, t_rh
+    assert mithril[64] > 25.0
+    assert pride[64] > 15.0
+    assert mithril[64] > mithril[1024]
+    assert pride[64] > pride[1024]

@@ -1,0 +1,66 @@
+"""Figure 21: QPRAC vs MOAT performance as N_BO varies.
+
+Paper: both are <1% at N_BO >= 32; at N_BO = 16 MOAT incurs 3.6% vs
+QPRAC's 2.3%, and proactive cadences shrink both (MOAT+Pro-per-tREFI
+0.7% vs QPRAC's 0.1%) — QPRAC's multi-entry PSQ scales better.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_entries, bench_workloads, emit_table
+
+from repro.params import MitigationVariant
+from repro.sim import moat_factory, qprac_factory, simulate_workload
+
+
+def test_fig21_moat_vs_qprac(benchmark, config, baselines):
+    names = list(bench_workloads())[:3]
+    entries = bench_entries()
+
+    def mean_slowdown(cfg, factory):
+        values = []
+        for name in names:
+            run = simulate_workload(
+                name, config=cfg, defense_factory=factory, n_entries=entries
+            )
+            values.append(run.slowdown_pct_vs(baselines[name]))
+        return sum(values) / len(values)
+
+    def build():
+        table = {}
+        for n_bo in (16, 32, 64):
+            cfg = config.with_prac(n_bo=n_bo)
+            table[("MOAT", n_bo)] = mean_slowdown(cfg, moat_factory())
+            table[("MOAT+Pro", n_bo)] = mean_slowdown(
+                cfg, moat_factory(proactive_every_n_refs=1)
+            )
+            table[("QPRAC", n_bo)] = mean_slowdown(
+                cfg, qprac_factory(MitigationVariant.QPRAC)
+            )
+            table[("QPRAC+Pro-EA", n_bo)] = mean_slowdown(
+                cfg, qprac_factory(MitigationVariant.QPRAC_PROACTIVE_EA)
+            )
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    labels = ("MOAT", "MOAT+Pro", "QPRAC", "QPRAC+Pro-EA")
+    rows = [
+        [n_bo] + [round(table[(label, n_bo)], 2) for label in labels]
+        for n_bo in (16, 32, 64)
+    ]
+    emit_table(
+        "fig21",
+        "Figure 21: slowdown %% vs N_BO "
+        "(paper @16: MOAT 3.6 / QPRAC 2.3; ~0 @32+)",
+        ["N_BO"] + list(labels),
+        rows,
+    )
+    # Both negligible at N_BO >= 32.
+    for n_bo in (32, 64):
+        assert table[("MOAT", n_bo)] < 1.5
+        assert table[("QPRAC", n_bo)] < 1.5
+    # At N_BO = 16 QPRAC is no worse than MOAT.
+    assert table[("QPRAC", 16)] <= table[("MOAT", 16)] + 0.3
+    # Proactive cadence helps both designs.
+    assert table[("MOAT+Pro", 16)] <= table[("MOAT", 16)] + 0.1
+    assert table[("QPRAC+Pro-EA", 16)] <= table[("QPRAC", 16)] + 0.1

@@ -1,0 +1,66 @@
+"""Figure 22: QPRAC vs MOAT mitigation-energy overhead as N_BO varies.
+
+Paper: both under ~2% at N_BO >= 32 (MOAT via its dual threshold, QPRAC
+via energy-aware proactive mitigation); rising at N_BO = 16 (MOAT 5.7%,
+QPRAC 4.1% in the paper's traces) with QPRAC at or below MOAT.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_entries, bench_workloads, emit_table
+
+from repro.energy import mitigation_energy_pct
+from repro.params import MitigationVariant
+from repro.sim import moat_factory, qprac_factory, simulate_workload
+
+
+def test_fig22_moat_vs_qprac_energy(benchmark, config):
+    names = list(bench_workloads())[:2]
+    entries = bench_entries()
+
+    def mean_energy(cfg, factory):
+        values = []
+        for name in names:
+            run = simulate_workload(
+                name, config=cfg, defense_factory=factory, n_entries=entries
+            )
+            values.append(mitigation_energy_pct(run, cfg))
+        return sum(values) / len(values)
+
+    def build():
+        table = {}
+        for n_bo in (16, 32, 64):
+            cfg = config.with_prac(n_bo=n_bo)
+            table[("MOAT", n_bo)] = mean_energy(cfg, moat_factory())
+            table[("MOAT+Pro", n_bo)] = mean_energy(
+                cfg, moat_factory(proactive_every_n_refs=1)
+            )
+            table[("QPRAC", n_bo)] = mean_energy(
+                cfg, qprac_factory(MitigationVariant.QPRAC)
+            )
+            table[("QPRAC+Pro-EA", n_bo)] = mean_energy(
+                cfg, qprac_factory(MitigationVariant.QPRAC_PROACTIVE_EA)
+            )
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    labels = ("MOAT", "MOAT+Pro", "QPRAC", "QPRAC+Pro-EA")
+    rows = [
+        [n_bo] + [round(table[(label, n_bo)], 2) for label in labels]
+        for n_bo in (16, 32, 64)
+    ]
+    emit_table(
+        "fig22",
+        "Figure 22: mitigation energy overhead %% vs N_BO "
+        "(paper: <2%% @32+, rising @16)",
+        ["N_BO"] + list(labels),
+        rows,
+    )
+    for n_bo in (32, 64):
+        assert table[("QPRAC", n_bo)] < 2.5
+        assert table[("MOAT", n_bo)] < 2.5
+    # Energy grows (or at worst stays flat) as N_BO shrinks.
+    assert table[("QPRAC", 16)] >= table[("QPRAC", 64)] - 0.1
+    # The EA design spends more than plain QPRAC but far less than
+    # mitigate-on-every-REF behaviour.
+    assert table[("QPRAC+Pro-EA", 32)] < 6.0

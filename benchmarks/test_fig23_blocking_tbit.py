@@ -1,0 +1,32 @@
+"""Figure 23 (Appendix A): Panopticon with ABO_ACT blocked from toggling.
+
+Paper shape: the target row is hammered purely with Alert-window
+activations rotated across banks; unmitigated ACTs fall with the
+mitigation threshold but stay ~1.8K+ even at threshold 1024.
+"""
+
+from __future__ import annotations
+
+from conftest import emit_series
+
+from repro.security import figure23_series
+
+THRESHOLDS = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def test_fig23_blocking_tbit(benchmark):
+    series = benchmark.pedantic(
+        lambda: figure23_series(thresholds=THRESHOLDS, queue_sizes=(4, 8, 16, 32, 64)),
+        rounds=1, iterations=1,
+    )
+    emit_series(
+        "fig23",
+        "Figure 23: max unmitigated ACTs with blocking-t-bit hardening",
+        "threshold",
+        {f"Q={q}": pts for q, pts in series.items()},
+    )
+    by_m = dict(series[4])
+    assert by_m[1024] > 1_500  # paper: ~1800 minimum at M = 1024
+    assert by_m[16] > 50_000
+    values = [by_m[m] for m in THRESHOLDS]
+    assert all(a > b for a, b in zip(values, values[1:]))

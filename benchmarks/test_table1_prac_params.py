@@ -1,0 +1,29 @@
+"""Table I: PRAC parameters as per the DDR5 specification."""
+
+from __future__ import annotations
+
+from conftest import emit_table
+
+from repro.params import PRACParams, VALID_NMIT
+
+
+def test_table1_prac_parameters(benchmark):
+    def build():
+        rows = []
+        p = PRACParams()
+        rows.append(["N_BO", "Back-Off Threshold", f"<= T_RH (default {p.n_bo})"])
+        rows.append(["N_mit", "Num RFMs on Alert", ", ".join(map(str, VALID_NMIT))])
+        rows.append(["ABO_ACT", "Max ACTs from Alert to RFM",
+                     f"{p.abo_act} (up to {p.abo_window_ns:.0f} ns)"])
+        rows.append(["ABO_Delay", "Min ACTs after RFM to Alert",
+                     "Same as N_mit: " + ", ".join(
+                         str(PRACParams(n_mit=n).abo_delay) for n in VALID_NMIT)])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit_table("table1", "Table I: PRAC parameters (DDR5 spec)",
+               ["Parameter", "Explanation", "Value"], rows)
+    p = PRACParams()
+    assert p.abo_act == 3 and p.abo_window_ns == 180.0
+    assert VALID_NMIT == (1, 2, 4)
+    assert all(PRACParams(n_mit=n).abo_delay == n for n in VALID_NMIT)

@@ -1,0 +1,37 @@
+"""Table IV: per-bank SRAM overhead of in-DRAM trackers.
+
+Paper: Misra-Gries 42.5 KB -> 1700 KB, TWiCe 300 KB -> 12 MB, CAT
+196 KB -> 7.84 MB as T_RH drops from 4K to 100; QPRAC stays at
+15 bytes regardless.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit_table
+
+from repro.energy import qprac_bytes, table4
+from repro.mitigations import MITHRIL_ENTRIES_PER_BANK
+
+
+def test_table4_tracker_storage(benchmark):
+    rows_data = benchmark.pedantic(lambda: table4((4096, 100)), rounds=1, iterations=1)
+    rows = [[r.tracker, r.t_rh, r.human] for r in rows_data]
+    rows.append(
+        ["Mithril CAM (paper quote)", "sub-100",
+         f"{MITHRIL_ENTRIES_PER_BANK} entries"]
+    )
+    emit_table(
+        "table4",
+        "Table IV: per-bank SRAM (paper: QPRAC 15 bytes at every T_RH)",
+        ["Tracker", "T_RH", "Per-bank SRAM"],
+        rows,
+    )
+    by_key = {(r.tracker, r.t_rh): r.bytes_per_bank for r in rows_data}
+    assert by_key[("QPRAC", 4096)] == 15.0
+    assert by_key[("QPRAC", 100)] == 15.0
+    assert by_key[("Misra-Gries", 4096)] == pytest.approx(42.5 * 1024)
+    assert by_key[("TWiCe", 100)] == pytest.approx(12 * 1024**2, rel=0.05)
+    assert by_key[("CAT", 100)] == pytest.approx(7.84 * 1024**2, rel=0.05)
+    # QPRAC is at least three orders of magnitude smaller at T_RH = 100.
+    assert by_key[("Misra-Gries", 100)] / qprac_bytes() > 1000

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Datacenter workload study: QPRAC on server-class memory traffic.
+
+The paper's introduction motivates in-DRAM Rowhammer mitigation with
+server consolidation: database (TPC), key-value (YCSB) and analytics
+(Hadoop) tenants hammering shared DDR5.  This example runs those three
+suites through the evaluated QPRAC variants and reports the three
+numbers an operator cares about: slowdown, Alert rate, and mitigation
+energy.
+
+Run:  python examples/datacenter_workload_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.energy import mitigation_energy_pct
+from repro.params import MitigationVariant, default_config
+from repro.sim import simulate_baseline, simulate_workload
+from repro.workloads import workloads_by_suite
+
+ENTRIES = 5000
+SUITES = ("tpc", "ycsb", "hadoop")
+VARIANTS = (
+    MitigationVariant.QPRAC_NOOP,
+    MitigationVariant.QPRAC,
+    MitigationVariant.QPRAC_PROACTIVE_EA,
+)
+
+
+def main() -> None:
+    config = default_config()
+    rows = []
+    for suite in SUITES:
+        # Two representative applications per suite keep runtime short;
+        # pass more via workloads_by_suite(suite) for a full sweep.
+        specs = workloads_by_suite(suite)[:2]
+        for spec in specs:
+            baseline = simulate_baseline(spec, config=config, n_entries=ENTRIES)
+            for variant in VARIANTS:
+                run = simulate_workload(
+                    spec, config=config, variant=variant, n_entries=ENTRIES
+                )
+                rows.append([
+                    suite,
+                    spec.name,
+                    variant.value,
+                    round(run.slowdown_pct_vs(baseline), 2),
+                    round(run.alerts_per_trefi, 3),
+                    round(mitigation_energy_pct(run, config), 2),
+                ])
+    print(render_table(
+        "Datacenter study: QPRAC variants on server suites "
+        "(N_BO=32, PRAC-1)",
+        ["suite", "workload", "variant", "slowdown %",
+         "alerts/tREFI", "energy %"],
+        rows,
+    ))
+    print()
+    print("Reading the table:")
+    print(" * qprac-noop shows why opportunistic mitigation matters —")
+    print("   every bank alerts on its own and the rank stalls repeatedly.")
+    print(" * qprac cuts Alerts by an order of magnitude at <1% slowdown.")
+    print(" * qprac+proactive-ea removes Alerts entirely in the REF shadow")
+    print("   while staying within ~2% mitigation energy (paper Table III).")
+
+
+if __name__ == "__main__":
+    main()

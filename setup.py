@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment ships setuptools 65 without the ``wheel`` package, so PEP
+660 editable installs (which need ``bdist_wheel``) fail.  Keeping a classic
+``setup.py`` lets ``pip install -e .`` fall back to the legacy develop
+path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

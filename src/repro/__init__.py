@@ -1,0 +1,60 @@
+"""QPRAC reproduction — secure and practical PRAC-based Rowhammer mitigation.
+
+A from-scratch Python implementation of *QPRAC: Towards Secure and
+Practical PRAC-based Rowhammer Mitigation using Priority Queues*
+(HPCA 2025), including the priority-based service queue, the Alert
+Back-Off protocol, a DDR5 timing simulator, the paper's baselines
+(Panopticon, UPRAC, MOAT, PrIDE, Mithril), its analytical security models
+and every evaluation experiment.
+
+Quick start::
+
+    from repro import PRACParams, PriorityServiceQueue
+    from repro.sim import simulate_workload
+    from repro.security import secure_trh, AttackModelConfig
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro.params import (
+    CPUConfig,
+    DDR5Timing,
+    DRAMOrganization,
+    MitigationVariant,
+    PRACParams,
+    RfmScope,
+    SystemConfig,
+    default_config,
+    prac_counter_bits,
+)
+from repro.core import (
+    AboProtocol,
+    MOATBank,
+    PanopticonBank,
+    PRACCounterBank,
+    PriorityServiceQueue,
+    QPRACBank,
+    UPRACBank,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPUConfig",
+    "DDR5Timing",
+    "DRAMOrganization",
+    "MitigationVariant",
+    "PRACParams",
+    "RfmScope",
+    "SystemConfig",
+    "default_config",
+    "prac_counter_bits",
+    "AboProtocol",
+    "MOATBank",
+    "PanopticonBank",
+    "PRACCounterBank",
+    "PriorityServiceQueue",
+    "QPRACBank",
+    "UPRACBank",
+    "__version__",
+]

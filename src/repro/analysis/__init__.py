@@ -1,0 +1,27 @@
+"""Metrics and plain-text reporting used by benchmarks and examples."""
+
+from repro.analysis.metrics import (
+    achieved_rbmpki,
+    mean_alerts_per_trefi,
+    mean_slowdown_pct,
+    normalized_weighted_speedup,
+    split_by_intensity,
+)
+from repro.analysis.report import (
+    print_series,
+    print_table,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "achieved_rbmpki",
+    "mean_alerts_per_trefi",
+    "mean_slowdown_pct",
+    "normalized_weighted_speedup",
+    "split_by_intensity",
+    "print_series",
+    "print_table",
+    "render_series",
+    "render_table",
+]

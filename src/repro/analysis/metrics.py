@@ -1,0 +1,64 @@
+"""Evaluation metrics shared by benchmarks and examples.
+
+Implements the paper's reporting conventions:
+
+* **weighted speedup** across homogeneous cores, normalised against the
+  insecure baseline run (Section V, "Workloads"),
+* mean slowdown percentages over a workload set, with the
+  memory-intensive (RBMPKI >= 2) split of Figures 14/15,
+* Alerts per tREFI (Figure 15),
+* achieved RBMPKI of a run (to verify workload calibration).
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.cpu.system import SystemResult
+from repro.errors import ConfigError
+from repro.workloads.suites import workload as lookup_workload
+
+
+def achieved_rbmpki(result: SystemResult) -> float:
+    """Row-buffer misses (activations) per kilo-instruction of a run."""
+    if result.instructions <= 0:
+        raise ConfigError("run retired no instructions")
+    return result.acts / result.instructions * 1000.0
+
+
+def normalized_weighted_speedup(
+    result: SystemResult, baseline: SystemResult
+) -> float:
+    return result.weighted_speedup_vs(baseline)
+
+
+def mean_slowdown_pct(
+    results: dict[str, SystemResult],
+    baselines: dict[str, SystemResult],
+    workloads: list[str] | None = None,
+) -> float:
+    """Average slowdown over the given workloads (all if None)."""
+    names = workloads if workloads is not None else sorted(results)
+    if not names:
+        raise ConfigError("no workloads given")
+    return mean(
+        results[name].slowdown_pct_vs(baselines[name]) for name in names
+    )
+
+
+def mean_alerts_per_trefi(
+    results: dict[str, SystemResult],
+    workloads: list[str] | None = None,
+) -> float:
+    names = workloads if workloads is not None else sorted(results)
+    if not names:
+        raise ConfigError("no workloads given")
+    return mean(results[name].alerts_per_trefi for name in names)
+
+
+def split_by_intensity(names: list[str]) -> tuple[list[str], list[str]]:
+    """Split workload names into (memory-intensive, rest) — Figure 14's
+    two panels."""
+    intensive = [n for n in names if lookup_workload(n).is_memory_intensive]
+    quiet = [n for n in names if not lookup_workload(n).is_memory_intensive]
+    return intensive, quiet

@@ -1,0 +1,182 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro security          # Figures 6-8, 13: analytical bounds
+    python -m repro attacks           # Figures 2, 3, 23: Panopticon attacks
+    python -m repro perf 429.mcf ...  # Figure 14/15-style variant sweep
+    python -m repro bandwidth         # Figure 19: performance attacks
+    python -m repro storage           # Table IV: tracker SRAM
+    python -m repro workloads         # list the 57-workload suite
+
+Every subcommand prints the same plain-text tables the benchmark harness
+writes to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.analysis.report import render_series, render_table
+
+
+def _cmd_security(args: argparse.Namespace) -> int:
+    from repro.security import figure8_series
+
+    nbo_values = tuple(args.nbo) if args.nbo else (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    base = figure8_series(nbo_values=nbo_values)
+    pro = figure8_series(proactive=True, nbo_values=nbo_values)
+    series = {}
+    for n_mit in (1, 2, 4):
+        series[f"PRAC-{n_mit}"] = base[n_mit]
+        series[f"QPRAC-{n_mit}+Pro"] = pro[n_mit]
+    print(render_series(
+        "Secure T_RH vs N_BO (paper Figures 8 and 13)", "N_BO", series
+    ))
+    return 0
+
+
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    from repro.security import figure2_series, figure3_series, figure23_series
+
+    fig2 = figure2_series(queue_sizes=(4, 8, 16), t_bits=(6, 8, 10))
+    print(render_series(
+        "Toggle+Forget: max unmitigated ACTs (Figure 2)", "queue_size",
+        {f"t_bit={t}": pts for t, pts in fig2.items()},
+    ))
+    print()
+    fig3 = figure3_series(queue_sizes=(4, 16, 64))
+    print(render_series(
+        "Fill+Escape: max unmitigated ACTs (Figure 3)", "threshold",
+        {f"Q={q}": pts for q, pts in fig3.items()},
+    ))
+    print()
+    fig23 = figure23_series(queue_sizes=(4, 16, 64))
+    print(render_series(
+        "Blocking-t-bit attack (Figure 23)", "threshold",
+        {f"Q={q}": pts for q, pts in fig23.items()},
+    ))
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.params import MitigationVariant, default_config
+    from repro.sim import run_variant_comparison
+
+    config = default_config().with_prac(n_bo=args.nbo_value, n_mit=args.n_mit,
+                                        abo_delay=None)
+    variants = tuple(MitigationVariant)
+    comparison = run_variant_comparison(
+        list(args.workloads), variants=variants, config=config,
+        n_entries=args.entries,
+    )
+    rows = []
+    for name in comparison.workloads:
+        for variant in variants:
+            run = comparison.results[variant.value][name]
+            rows.append([
+                name, variant.value,
+                round(comparison.slowdown_pct(variant.value, name), 2),
+                round(run.alerts_per_trefi, 3),
+            ])
+    print(render_table(
+        f"Variant sweep (N_BO={args.nbo_value}, PRAC-{args.n_mit}, "
+        f"{args.entries} accesses/core)",
+        ["workload", "variant", "slowdown %", "alerts/tREFI"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_bandwidth(args: argparse.Namespace) -> int:
+    from repro.params import RfmScope
+    from repro.sim import analytical_bandwidth_reduction
+
+    nbo_values = (16, 32, 64, 128)
+    series = {
+        "RFMab": [(n, round(100 * analytical_bandwidth_reduction(n)))
+                  for n in nbo_values],
+        "RFMab+Pro": [(n, round(100 * analytical_bandwidth_reduction(
+            n, proactive=True))) for n in nbo_values],
+        "RFMsb+Pro": [(n, round(100 * analytical_bandwidth_reduction(
+            n, RfmScope.SAME_BANK, True))) for n in nbo_values],
+        "RFMpb+Pro": [(n, round(100 * analytical_bandwidth_reduction(
+            n, RfmScope.PER_BANK, True))) for n in nbo_values],
+    }
+    print(render_series(
+        "Performance-attack bandwidth loss % (Figure 19, analytical)",
+        "N_BO", series,
+    ))
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    from repro.energy import table4
+
+    rows = [[r.tracker, r.t_rh, r.human] for r in table4(tuple(args.trh))]
+    print(render_table(
+        "Per-bank tracker SRAM (Table IV)",
+        ["Tracker", "T_RH", "SRAM"], rows,
+    ))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import ALL_WORKLOADS
+
+    rows = [
+        [w.name, w.suite, w.acts_pki, w.row_burst, w.footprint_mb,
+         "yes" if w.is_memory_intensive else ""]
+        for w in ALL_WORKLOADS
+    ]
+    print(render_table(
+        "The 57-workload suite",
+        ["name", "suite", "acts/Kinst", "row burst", "footprint MB",
+         "intensive"],
+        rows,
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="QPRAC (HPCA 2025) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("security", help="analytical T_RH bounds (Figs 8/13)")
+    p.add_argument("--nbo", type=int, nargs="*", default=None)
+    p.set_defaults(func=_cmd_security)
+
+    p = sub.add_parser("attacks", help="Panopticon attacks (Figs 2/3/23)")
+    p.set_defaults(func=_cmd_attacks)
+
+    p = sub.add_parser("perf", help="variant sweep on workloads (Figs 14/15)")
+    p.add_argument("workloads", nargs="+")
+    p.add_argument("--entries", type=int, default=5000)
+    p.add_argument("--nbo-value", type=int, default=32)
+    p.add_argument("--n-mit", type=int, default=1, choices=(1, 2, 4))
+    p.set_defaults(func=_cmd_perf)
+
+    p = sub.add_parser("bandwidth", help="performance attack (Fig 19)")
+    p.set_defaults(func=_cmd_bandwidth)
+
+    p = sub.add_parser("storage", help="tracker SRAM (Table IV)")
+    p.add_argument("--trh", type=int, nargs="*", default=[4096, 100])
+    p.set_defaults(func=_cmd_storage)
+
+    p = sub.add_parser("workloads", help="list the 57-workload suite")
+    p.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Memory controller: request scheduling, REF/RFM/ABO servicing."""
+
+from repro.controller.memctrl import MemorySystem, MemStats, RankState
+from repro.controller.request import Request
+
+__all__ = ["MemorySystem", "MemStats", "RankState", "Request"]

@@ -1,0 +1,373 @@
+"""DDR5 memory system: controller scheduling + DRAM-side defense hooks.
+
+This module is the performance substrate of the reproduction.  It is an
+event-driven, nanosecond-granularity model of the paper's Table II memory
+system:
+
+* per-bank FR-FCFS scheduling with open-row state and the DDR5 timing
+  constraints (tRCD/tCL/tRAS/tRP/tRTP/tWR/tRC) including the PRAC-stretched
+  precharge,
+* a shared data bus per channel (tBURST occupancy),
+* all-bank refresh per rank every tREFI (tRFC blackout) with defense
+  ``on_ref`` hooks (proactive mitigation happens in the REF shadow),
+* the Alert Back-Off protocol: when a bank's defense wants an Alert the
+  controller finishes the non-blocking 180 ns window, then issues N_mit
+  RFMs whose scope (all-bank / same-bank / per-bank, Section VI-E) decides
+  which banks stall and which banks get opportunistic mitigations,
+* cadence RFMs for controller-driven mitigations (PrIDE / Mithril).
+
+The model does not simulate individual command-bus slots; command bandwidth
+is never the bottleneck for the experiments reproduced here (the paper's
+overheads are entirely RFM/REF blackout effects), and the data bus *is*
+modelled because multi-core runs saturate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.controller.request import Request
+from repro.core.defense import BankDefense, MitigationReason
+from repro.dram.address import AddressMapper
+from repro.dram.bank import BankState
+from repro.errors import ConfigError
+from repro.params import RfmScope, SystemConfig
+from repro.engine import EventQueue
+
+DefenseFactory = Callable[[int, SystemConfig], BankDefense]
+
+
+@dataclass
+class RankState:
+    """Rank-scoped protocol and blackout state."""
+
+    index: int
+    banks: list[BankState]
+    ref_offset: float
+    #: Dynamic blackout intervals (RFMab service), sorted by start.
+    blackouts: list[tuple[float, float]] = field(default_factory=list)
+    acts_since_rfm: int = 1 << 30
+    alert_busy_until: float = 0.0
+    #: Rank-level ACT-to-ACT gate (tRRD).
+    next_act_allowed: float = 0.0
+    alerts: int = 0
+    rfm_commands: int = 0
+    refs: int = 0
+    blocked_ns: float = 0.0
+
+
+@dataclass
+class MemStats:
+    """Aggregate statistics of one simulation run."""
+
+    reads: int = 0
+    writes: int = 0
+    acts: int = 0
+    row_hits: int = 0
+    alerts: int = 0
+    refs: int = 0
+    rfm_commands: int = 0
+    cadence_rfms: int = 0
+    total_read_latency_ns: float = 0.0
+
+    @property
+    def avg_read_latency_ns(self) -> float:
+        return self.total_read_latency_ns / self.reads if self.reads else 0.0
+
+
+class MemorySystem:
+    """Event-driven DDR5 memory system with pluggable per-bank defenses."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        events: EventQueue,
+        defense_factory: DefenseFactory,
+        enable_refresh: bool = True,
+    ) -> None:
+        self.cfg = config
+        self.events = events
+        self.timing = config.timing
+        self.mapper = AddressMapper(config.org)
+        self.enable_refresh = enable_refresh
+        self.stats = MemStats()
+        org = config.org
+
+        self.banks: list[BankState] = []
+        self.ranks: list[RankState] = []
+        rank_count = org.channels * org.ranks
+        stagger = self.timing.t_refi / max(1, rank_count)
+        flat = 0
+        for channel in range(org.channels):
+            for rank in range(org.ranks):
+                rank_banks: list[BankState] = []
+                for bg in range(org.bankgroups):
+                    for bank in range(org.banks_per_group):
+                        state = BankState(
+                            index=flat,
+                            channel=channel,
+                            rank=rank,
+                            bankgroup=bg,
+                            bank=bank,
+                            defense=defense_factory(flat, config),
+                        )
+                        self.banks.append(state)
+                        rank_banks.append(state)
+                        flat += 1
+                rank_index = channel * org.ranks + rank
+                rank_state = RankState(
+                    index=rank_index,
+                    banks=rank_banks,
+                    ref_offset=stagger * rank_index,
+                )
+                # Allow the very first Alert without an ABO_Delay debt.
+                self.ranks.append(rank_state)
+        self.bus_free = [0.0] * org.channels
+        if enable_refresh:
+            for rank_state in self.ranks:
+                self.events.schedule(
+                    rank_state.ref_offset,
+                    self._make_ref_handler(rank_state),
+                )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def enqueue(
+        self,
+        phys_addr: int,
+        is_write: bool,
+        now: float,
+        callback: Callable[[float], None] | None = None,
+        core_id: int | None = None,
+    ) -> Request:
+        """Queue one cache-line access; ``callback(done_ns)`` fires on completion."""
+        decoded = self.mapper.decode(phys_addr)
+        req = Request(
+            phys_addr=phys_addr,
+            is_write=is_write,
+            arrive=now,
+            channel=decoded.channel,
+            rank=decoded.rank,
+            bankgroup=decoded.bankgroup,
+            bank=decoded.bank,
+            row=decoded.row,
+            column=decoded.column,
+            callback=callback,
+            core_id=core_id,
+        )
+        bank = self.banks[decoded.flat_bank(self.cfg.org)]
+        bank.pending.append(req)
+        self._schedule_consider(bank, now)
+        return req
+
+    def bank_for(self, phys_addr: int) -> BankState:
+        decoded = self.mapper.decode(phys_addr)
+        return self.banks[decoded.flat_bank(self.cfg.org)]
+
+    def defense_stats(self) -> dict[MitigationReason, int]:
+        """Total mitigations by reason, summed over all banks."""
+        totals = {reason: 0 for reason in MitigationReason}
+        for bank in self.banks:
+            for reason, count in bank.defense.stats.mitigations_by_reason.items():
+                totals[reason] += count
+        return totals
+
+    @property
+    def queued_requests(self) -> int:
+        return sum(len(bank.pending) for bank in self.banks)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _schedule_consider(self, bank: BankState, t: float) -> None:
+        if bank.consider_scheduled:
+            return
+        bank.consider_scheduled = True
+        self.events.schedule(t, self._make_consider_handler(bank))
+
+    def _make_consider_handler(self, bank: BankState) -> Callable[[float], None]:
+        def handler(now: float) -> None:
+            bank.consider_scheduled = False
+            if not bank.pending:
+                return
+            # Never commit a request while the bank is still occupied or
+            # blacked out: scheduling it early would reserve rank-level
+            # resources (the tRRD gate) at far-future instants and starve
+            # other banks' earlier slots.
+            floor = max(bank.ready_at, bank.blocked_until)
+            if floor > now + 1e-9:
+                self._schedule_consider(bank, floor)
+                return
+            req = bank.pick_request()
+            self._service(bank, req, now)
+            if bank.pending:
+                self._schedule_consider(
+                    bank, max(bank.ready_at, bank.blocked_until)
+                )
+
+        return handler
+
+    def _service(self, bank: BankState, req: Request, now: float) -> None:
+        """Compute the command schedule for one request and apply it."""
+        t = self.timing
+        rank = self.ranks[bank.channel * self.cfg.org.ranks + bank.rank]
+        start = max(now, bank.ready_at, bank.blocked_until)
+        if bank.open_row == req.row and bank.open_row is not None:
+            cas = self._rank_avail(rank, max(start, bank.cas_allowed))
+            bank.row_hits += 1
+            self.stats.row_hits += 1
+            act_time = None
+        else:
+            if bank.open_row is None:
+                act_ready = max(start, bank.act_allowed)
+                bank.row_misses += 1
+            else:
+                pre = self._rank_avail(rank, max(start, bank.pre_allowed))
+                act_ready = max(pre + t.t_rp, bank.act_allowed)
+                bank.row_conflicts += 1
+            act_time = self._rank_avail(
+                rank, max(act_ready, rank.next_act_allowed)
+            )
+            # Advance the rank ACT-to-ACT gate (tRRD).  Requests are only
+            # committed once their bank is free (see the consider
+            # handler), so act_time is always near the true rank frontier.
+            rank.next_act_allowed = act_time + t.t_rrd
+            bank.open_row = req.row
+            bank.act_allowed = act_time + t.t_rc
+            bank.pre_allowed = act_time + t.t_ras
+            bank.cas_allowed = act_time + t.t_rcd
+            cas = act_time + t.t_rcd
+        data_start = max(cas + t.t_cl, self.bus_free[req.channel])
+        done = data_start + t.t_burst
+        self.bus_free[req.channel] = done
+        if req.is_write:
+            bank.pre_allowed = max(bank.pre_allowed, done + t.t_wr)
+            self.stats.writes += 1
+        else:
+            bank.pre_allowed = max(bank.pre_allowed, cas + t.t_rtp)
+            self.stats.reads += 1
+            self.stats.total_read_latency_ns += done - req.arrive
+        bank.ready_at = data_start
+        if act_time is not None:
+            self._on_activation(bank, rank, req.row, act_time)
+        req.complete_time = done
+        if req.callback is not None:
+            callback = req.callback
+            self.events.schedule(done, callback)
+
+    def _rank_avail(self, rank: RankState, t: float) -> float:
+        """Earliest instant >= t outside REF windows and rank blackouts."""
+        timing = self.timing
+        while True:
+            moved = False
+            if self.enable_refresh:
+                pos = (t - rank.ref_offset) % timing.t_refi
+                if pos < timing.t_rfc:
+                    t += timing.t_rfc - pos
+                    moved = True
+            blackouts = rank.blackouts
+            if blackouts:
+                keep_from = 0
+                for i, (b_start, b_end) in enumerate(blackouts):
+                    if b_end <= t:
+                        keep_from = i + 1
+                        continue
+                    if b_start <= t < b_end:
+                        t = b_end
+                        moved = True
+                    elif b_start > t:
+                        break
+                if keep_from:
+                    del blackouts[:keep_from]
+            if not moved:
+                return t
+
+    # ------------------------------------------------------------------
+    # Activation-side protocol: alerts, RFMs, cadence mitigations
+    # ------------------------------------------------------------------
+    def _on_activation(
+        self, bank: BankState, rank: RankState, row: int, act_time: float
+    ) -> None:
+        bank.acts += 1
+        self.stats.acts += 1
+        rank.acts_since_rfm += 1
+        wants_alert = bank.defense.on_activation(row)
+        cadence = bank.defense.rfm_cadence_acts
+        if cadence is not None:
+            bank.cadence_act_counter += 1
+            if bank.cadence_act_counter >= cadence:
+                bank.cadence_act_counter = 0
+                self._issue_cadence_rfm(bank, act_time)
+        if wants_alert:
+            self._maybe_alert(bank, rank, act_time)
+
+    def _issue_cadence_rfm(self, bank: BankState, act_time: float) -> None:
+        """Controller-scheduled per-bank RFM (PrIDE / Mithril cadence)."""
+        t = self.timing
+        start = act_time + t.t_rc
+        bank.blocked_until = max(bank.blocked_until, start) + t.t_rfm
+        bank.act_allowed = max(bank.act_allowed, bank.blocked_until)
+        bank.open_row = None
+        bank.defense.on_rfm(is_alerting_bank=True)
+        self.stats.cadence_rfms += 1
+
+    def _maybe_alert(
+        self, bank: BankState, rank: RankState, act_time: float
+    ) -> None:
+        prac = self.cfg.prac
+        assert prac.abo_delay is not None
+        if act_time < rank.alert_busy_until:
+            return
+        if rank.acts_since_rfm < prac.abo_delay:
+            return
+        rank.alerts += 1
+        self.stats.alerts += 1
+        rank.acts_since_rfm = 0
+        rfm_start = act_time + prac.abo_window_ns
+        rfm_end = rfm_start + prac.n_mit * self.timing.t_rfm
+        rank.alert_busy_until = rfm_end
+        scope = self._rfm_scope_banks(rank, bank)
+        for _ in range(prac.n_mit):
+            for member in scope:
+                member.defense.on_rfm(is_alerting_bank=member is bank)
+        rank.rfm_commands += prac.n_mit
+        self.stats.rfm_commands += prac.n_mit
+        if prac.rfm_scope is RfmScope.ALL_BANK:
+            rank.blackouts.append((rfm_start, rfm_end))
+            rank.blocked_ns += rfm_end - rfm_start
+            for member in scope:
+                # RFM leaves banks precharged.
+                member.open_row = None
+        else:
+            for member in scope:
+                member.blocked_until = max(member.blocked_until, rfm_end)
+                member.open_row = None
+                member.act_allowed = max(member.act_allowed, rfm_end)
+            rank.blocked_ns += (rfm_end - rfm_start) * len(scope) / len(rank.banks)
+
+    def _rfm_scope_banks(
+        self, rank: RankState, alerting: BankState
+    ) -> list[BankState]:
+        scope = self.cfg.prac.rfm_scope
+        if scope is RfmScope.ALL_BANK:
+            return rank.banks
+        if scope is RfmScope.SAME_BANK:
+            return [b for b in rank.banks if b.bank == alerting.bank]
+        if scope is RfmScope.PER_BANK:
+            return [alerting]
+        raise ConfigError(f"unhandled RFM scope {scope}")
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+    def _make_ref_handler(self, rank: RankState) -> Callable[[float], None]:
+        def handler(now: float) -> None:
+            rank.refs += 1
+            self.stats.refs += 1
+            for bank in rank.banks:
+                bank.defense.on_ref()
+            self.events.schedule(now + self.timing.t_refi, handler)
+
+        return handler

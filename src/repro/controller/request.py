@@ -1,0 +1,36 @@
+"""Memory request representation shared by the CPU and the controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Request:
+    """One cache-line-sized DRAM access.
+
+    ``callback`` is invoked (via the event queue) with the completion time;
+    writes typically pass ``None`` (posted writes retire immediately from
+    the core's perspective).
+    """
+
+    phys_addr: int
+    is_write: bool
+    arrive: float
+    channel: int
+    rank: int
+    bankgroup: int
+    bank: int
+    row: int
+    column: int
+    callback: Callable[[float], None] | None = None
+    core_id: int | None = None
+    complete_time: float | None = field(default=None)
+
+    @property
+    def latency(self) -> float:
+        """Completion latency in ns (only valid after completion)."""
+        if self.complete_time is None:
+            raise ValueError("request has not completed")
+        return self.complete_time - self.arrive

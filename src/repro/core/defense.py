@@ -1,0 +1,134 @@
+"""Common interface for per-bank in-DRAM Rowhammer defenses.
+
+Every defense evaluated in the paper — QPRAC and its variants, Panopticon,
+MOAT, UPRAC/Ideal, PrIDE, Mithril — plugs into the DRAM device model
+through this interface, which mirrors the three moments a real in-DRAM
+mitigation engine can act:
+
+* **on_activation**: a row was activated; update tracking state and report
+  whether the bank wants to assert Alert_n.
+* **on_rfm**: the bank received an RFM (because of an Alert, an
+  opportunistic all-bank RFM, or a controller-scheduled cadence RFM);
+  perform up to one mitigation and report which aggressor was mitigated.
+* **on_ref**: the bank is being refreshed; proactive mitigations happen in
+  the REF shadow.
+
+Mitigating an aggressor means refreshing its blast-radius victims,
+resetting the aggressor's PRAC counter (where the design has one), and
+doing the transitive-victim counter bookkeeping.  The shared helper
+:func:`apply_mitigation` implements that sequence so that every defense
+treats victims identically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.prac_counters import PRACCounterBank
+from repro.core.psq import PriorityServiceQueue
+
+
+class MitigationReason(Enum):
+    """Why a mitigation was performed (drives energy accounting)."""
+
+    ALERT = "alert"
+    OPPORTUNISTIC = "opportunistic"
+    PROACTIVE = "proactive"
+    CADENCE = "cadence"
+
+
+@dataclass
+class DefenseStats:
+    """Uniform statistics every defense maintains."""
+
+    activations: int = 0
+    alerts: int = 0
+    mitigations_by_reason: dict[MitigationReason, int] = field(
+        default_factory=lambda: {reason: 0 for reason in MitigationReason}
+    )
+    victim_refreshes: int = 0
+
+    @property
+    def total_mitigations(self) -> int:
+        return sum(self.mitigations_by_reason.values())
+
+    def record_mitigation(self, reason: MitigationReason, victims: int) -> None:
+        self.mitigations_by_reason[reason] += 1
+        self.victim_refreshes += victims
+
+
+def blast_radius_victims(row: int, radius: int, num_rows: int) -> list[int]:
+    """Victim rows within ``radius`` of ``row``, clipped to the bank."""
+    victims = []
+    for offset in range(1, radius + 1):
+        if row - offset >= 0:
+            victims.append(row - offset)
+        if row + offset < num_rows:
+            victims.append(row + offset)
+    return victims
+
+
+def apply_mitigation(
+    counters: PRACCounterBank,
+    row: int,
+    radius: int,
+    stats: DefenseStats,
+    reason: MitigationReason,
+    psq: PriorityServiceQueue | None = None,
+    reset_aggressor: bool = True,
+) -> list[int]:
+    """Mitigate ``row``: refresh victims, reset the aggressor counter.
+
+    Implements Section III-C2 of the paper: each mitigative refresh to a
+    victim row increments the victim's PRAC counter, and the victim is
+    offered to the PSQ (when one exists) under the normal insertion rule —
+    this is QPRAC's transitive (Half-Double) protection.  Returns the list
+    of refreshed victim rows.
+
+    ``reset_aggressor=False`` models Panopticon's t-bit design, whose
+    counters keep counting across mitigations (the next enqueue happens at
+    the next threshold multiple).
+    """
+    victims = blast_radius_victims(row, radius, counters.num_rows)
+    for victim in victims:
+        new_count = counters.increment_victim(victim)
+        if psq is not None:
+            psq.observe(victim, new_count)
+    if reset_aggressor:
+        counters.reset(row)
+    if psq is not None:
+        psq.remove(row)
+    stats.record_mitigation(reason, len(victims))
+    return victims
+
+
+class BankDefense(ABC):
+    """Abstract per-bank defense engine consumed by the DRAM device model."""
+
+    def __init__(self) -> None:
+        self.stats = DefenseStats()
+
+    @abstractmethod
+    def on_activation(self, row: int) -> bool:
+        """Record an activation of ``row``; return True iff this bank now
+        wants to assert Alert_n."""
+
+    @abstractmethod
+    def wants_alert(self) -> bool:
+        """True while the bank's tracked state still warrants an Alert."""
+
+    @abstractmethod
+    def on_rfm(self, is_alerting_bank: bool) -> list[int]:
+        """Service one RFM; return the aggressor rows mitigated (possibly [])."""
+
+    def on_ref(self) -> list[int]:
+        """Service one REF; proactive designs mitigate here.  Default: none."""
+        return []
+
+    @property
+    def rfm_cadence_acts(self) -> int | None:
+        """For cadence-based defenses (PrIDE/Mithril): controller must issue
+        one RFM per this many activations.  ``None`` = alert-driven only."""
+        return None

@@ -1,0 +1,83 @@
+"""Bounded FIFO service queue — the *insecure* design QPRAC replaces.
+
+Panopticon and the practical variant of UPRAC track rows pending mitigation
+in a first-in-first-out queue of fixed capacity.  The security flaw the
+paper demonstrates (Section II-E) is precisely the behaviour modelled here:
+when the queue is full a new candidate is **dropped** ("bypass"), so an
+attacker who keeps the queue full can hammer a row indefinitely using the
+non-blocking Alert window.
+
+The class records how many candidates were bypassed so attack simulators
+and tests can observe the vulnerability directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError, ProtocolError
+
+
+class FifoServiceQueue:
+    """A bounded FIFO of row ids with bypass-on-full semantics."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigError(f"FIFO size must be >= 1, got {size}")
+        self._size = size
+        self._queue: deque[int] = deque()
+        self._members: set[int] = set()
+        self.bypasses = 0
+        self.enqueues = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, row: int) -> bool:
+        return row in self._members
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._queue) >= self._size
+
+    def try_enqueue(self, row: int) -> bool:
+        """Enqueue ``row`` for mitigation.
+
+        Returns False — the security-critical *bypass* — when the queue is
+        full, or when the row is already queued (hardware CAMs suppress
+        duplicates).  Returns True when the row was accepted.
+        """
+        if row in self._members:
+            return True  # already pending; not a bypass
+        if self.is_full:
+            self.bypasses += 1
+            return False
+        self._queue.append(row)
+        self._members.add(row)
+        self.enqueues += 1
+        return True
+
+    def pop_front(self) -> int:
+        """Dequeue the oldest pending row (serviced by an RFM or REF)."""
+        if not self._queue:
+            raise ProtocolError("pop_front() on an empty FIFO service queue")
+        row = self._queue.popleft()
+        self._members.discard(row)
+        return row
+
+    def pop_front_or_none(self) -> int | None:
+        if not self._queue:
+            return None
+        return self.pop_front()
+
+    def clear(self) -> None:
+        self._queue.clear()
+        self._members.clear()
+
+    def snapshot(self) -> list[int]:
+        """Pending rows, oldest first."""
+        return list(self._queue)

@@ -1,0 +1,25 @@
+"""The insecure baseline: PRAC timings, no Alert Back-Off mitigation.
+
+The paper normalises every result against "a non-secure baseline without
+Alerts" that still pays the PRAC timing changes (the stretched tRP).  This
+defense counts activations — so workload statistics stay comparable — but
+never requests an Alert and never mitigates.
+"""
+
+from __future__ import annotations
+
+from repro.core.defense import BankDefense
+
+
+class NullDefense(BankDefense):
+    """Counts activations; never alerts; never mitigates."""
+
+    def on_activation(self, row: int) -> bool:
+        self.stats.activations += 1
+        return False
+
+    def wants_alert(self) -> bool:
+        return False
+
+    def on_rfm(self, is_alerting_bank: bool) -> list[int]:
+        return []

@@ -1,0 +1,184 @@
+"""Panopticon-style PRAC implementation — the insecure baseline.
+
+Panopticon (Bennett et al., DRAMSec'21) inspired PRAC: per-row activation
+counters plus a FIFO service queue.  The paper (Section II-E1) shows two
+fatal flaws once Panopticon is implemented under the PRAC specification's
+*non-blocking* Alert:
+
+* **t-bit toggling**: a row is only enqueued when its counter crosses a
+  multiple of the mitigation threshold ``2^t``.  A row whose toggle is
+  consumed while the queue is full will not be considered again for another
+  ``2^t`` activations (the Toggle+Forget attack).
+* **FIFO bypass**: when the queue is full, new candidates are dropped, and
+  the attacker can hammer a dropped row with the ABO_ACT activations of
+  each Alert window (the Fill+Escape attack).
+
+Two variants are modelled, matching the paper:
+
+* :class:`PanopticonBank` — the original t-bit design.
+* :class:`FullCompareBank` — the "fixed" variant that compares the full
+  counter value against the threshold on every activation (still insecure,
+  Figure 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.defense import (
+    BankDefense,
+    MitigationReason,
+    apply_mitigation,
+)
+from repro.core.fifo_queue import FifoServiceQueue
+from repro.core.prac_counters import PRACCounterBank
+from repro.errors import ConfigError
+
+
+class PanopticonBank(BankDefense):
+    """Panopticon with t-bit toggle enqueueing and a FIFO service queue.
+
+    Parameters
+    ----------
+    t_bit:
+        The toggled bit position; the mitigation threshold is ``2**t_bit``.
+    queue_size:
+        FIFO service queue capacity.
+    num_rows:
+        Rows in the bank.
+    blast_radius:
+        Victim rows refreshed on each side during mitigation.
+    tbit_toggles_on_abo_act:
+        Appendix A knob: when False, activations issued inside an Alert
+        window do not toggle the t-bit (the proposed-but-still-insecure
+        hardening).  The caller flags window activations explicitly via
+        :meth:`on_activation`'s ``in_abo_window`` argument.
+    """
+
+    def __init__(
+        self,
+        t_bit: int,
+        queue_size: int,
+        num_rows: int,
+        blast_radius: int = 2,
+        tbit_toggles_on_abo_act: bool = True,
+    ) -> None:
+        super().__init__()
+        if t_bit < 1:
+            raise ConfigError(f"t_bit must be >= 1, got {t_bit}")
+        self.threshold = 1 << t_bit
+        self.queue = FifoServiceQueue(queue_size)
+        self.counters = PRACCounterBank(num_rows, counter_bits=None)
+        self.blast_radius = blast_radius
+        self.tbit_toggles_on_abo_act = tbit_toggles_on_abo_act
+
+    def on_activation(self, row: int, in_abo_window: bool = False) -> bool:
+        """Activate ``row``; enqueue on t-bit toggle; Alert when queue fills.
+
+        The security hole is visible right here: if the toggle lands while
+        the queue is full, ``try_enqueue`` fails and the row will not be
+        reconsidered until its counter crosses the *next* multiple of the
+        threshold.
+        """
+        self.stats.activations += 1
+        count = self.counters.activate(row)
+        toggled = count % self.threshold == 0
+        if toggled and in_abo_window and not self.tbit_toggles_on_abo_act:
+            toggled = False  # Appendix-A hardening: window ACTs don't toggle
+        if toggled:
+            self.queue.try_enqueue(row)
+        return self.wants_alert()
+
+    def wants_alert(self) -> bool:
+        """Panopticon alerts when its service queue is full."""
+        return self.queue.is_full
+
+    def on_rfm(self, is_alerting_bank: bool) -> list[int]:
+        row = self.queue.pop_front_or_none()
+        if row is None:
+            return []
+        # The t-bit design does not reset the (ever-growing) counter; the
+        # next enqueue happens at the next threshold multiple.
+        apply_mitigation(
+            self.counters,
+            row,
+            self.blast_radius,
+            self.stats,
+            MitigationReason.ALERT if is_alerting_bank else MitigationReason.OPPORTUNISTIC,
+            reset_aggressor=False,
+        )
+        return [row]
+
+    def on_ref(self) -> list[int]:
+        """Panopticon also drains one queue entry per REF (Section II-E1)."""
+        row = self.queue.pop_front_or_none()
+        if row is None:
+            return []
+        apply_mitigation(
+            self.counters,
+            row,
+            self.blast_radius,
+            self.stats,
+            MitigationReason.PROACTIVE,
+            reset_aggressor=False,
+        )
+        return [row]
+
+
+class FullCompareBank(BankDefense):
+    """Panopticon variant comparing the full counter against the threshold.
+
+    Fixes Toggle+Forget (a bypassed row is re-offered on every subsequent
+    activation) but remains vulnerable to Fill+Escape because the FIFO still
+    bypasses when full.  Mitigation resets the aggressor's counter —
+    otherwise it would be re-enqueued immediately.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        queue_size: int,
+        num_rows: int,
+        blast_radius: int = 2,
+    ) -> None:
+        super().__init__()
+        if threshold < 1:
+            raise ConfigError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.queue = FifoServiceQueue(queue_size)
+        self.counters = PRACCounterBank(num_rows, counter_bits=None)
+        self.blast_radius = blast_radius
+
+    def on_activation(self, row: int) -> bool:
+        self.stats.activations += 1
+        count = self.counters.activate(row)
+        if count >= self.threshold and row not in self.queue:
+            self.queue.try_enqueue(row)
+        return self.wants_alert()
+
+    def wants_alert(self) -> bool:
+        return self.queue.is_full
+
+    def on_rfm(self, is_alerting_bank: bool) -> list[int]:
+        row = self.queue.pop_front_or_none()
+        if row is None:
+            return []
+        apply_mitigation(
+            self.counters,
+            row,
+            self.blast_radius,
+            self.stats,
+            MitigationReason.ALERT if is_alerting_bank else MitigationReason.OPPORTUNISTIC,
+        )
+        return [row]
+
+    def on_ref(self) -> list[int]:
+        row = self.queue.pop_front_or_none()
+        if row is None:
+            return []
+        apply_mitigation(
+            self.counters,
+            row,
+            self.blast_radius,
+            self.stats,
+            MitigationReason.PROACTIVE,
+        )
+        return [row]

@@ -1,0 +1,213 @@
+"""Priority-based Service Queue (PSQ) — the core contribution of QPRAC.
+
+The PSQ is a small CAM-style structure, one per DRAM bank, that tracks the
+most-activated rows awaiting Rowhammer mitigation (paper Section III-B).
+Each entry holds a row id and that row's current activation count; the count
+is the priority.
+
+Operation (paper Figure 5):
+
+* On an activation whose row is already present, the stored count is
+  updated in place to the in-DRAM counter value.
+* On a miss, the row is inserted if the queue has space, or if its count is
+  strictly greater than the queue's minimum count, in which case the
+  minimum-count entry is evicted.
+* The queue raises the bank's Alert once its maximum count reaches the
+  Back-Off threshold (checked by the caller via :meth:`top`).
+
+Unlike the FIFO queues of Panopticon/UPRAC, the PSQ is *intentionally*
+always full: being full never causes information loss about heavily
+activated rows, which is exactly the property the paper's security argument
+rests on (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigError, ProtocolError
+
+
+@dataclass
+class PSQEntry:
+    """One CAM entry: a row id, its activation count, and an insertion tag.
+
+    The insertion tag (a monotonically increasing sequence number) is only
+    used to break ties deterministically: among equal counts the *oldest*
+    entry is considered lower priority and evicted first.  The paper does
+    not specify tie-breaking; tests assert that security-relevant
+    invariants hold regardless (see ``tests/core/test_psq_properties.py``).
+    """
+
+    row: int
+    count: int
+    seq: int
+
+    def sort_key(self) -> tuple[int, int]:
+        """Ascending priority: lowest count first, oldest first among ties.
+
+        ``min`` of this key is the eviction victim; ``max`` is the
+        mitigation target (highest count, newest among ties).
+        """
+        return (self.count, self.seq)
+
+
+class PriorityServiceQueue:
+    """An N-entry priority-based service queue keyed by activation count.
+
+    Parameters
+    ----------
+    size:
+        Number of CAM entries (paper default: 5 = max N_mit + 1).
+    strict_insertion:
+        The paper's rule inserts a row only when its count is *strictly*
+        greater than the queue's minimum.  ``False`` switches to
+        greater-or-equal (an ablation: security-equivalent under the wave
+        attack, but with higher CAM churn — see
+        ``benchmarks/test_ablation_psq_policy.py``).
+
+    Notes
+    -----
+    The implementation keeps a dict for O(1) hit lookup plus a list of
+    entries; with N <= 5 (and never more than a few dozen in ablations)
+    linear scans for min/max are faster in Python than a heap and keep the
+    semantics obviously faithful to the hardware CAM.
+    """
+
+    def __init__(self, size: int, strict_insertion: bool = True) -> None:
+        if size < 1:
+            raise ConfigError(f"PSQ size must be >= 1, got {size}")
+        self._size = size
+        self.strict_insertion = strict_insertion
+        self._entries: dict[int, PSQEntry] = {}
+        self._next_seq = 0
+        # Statistics (read by the energy model and tests).
+        self.inserts = 0
+        self.evictions = 0
+        self.hits = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Configured capacity."""
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, row: int) -> bool:
+        return row in self._entries
+
+    def __iter__(self) -> Iterator[PSQEntry]:
+        """Iterate entries in descending priority order."""
+        return iter(
+            sorted(self._entries.values(), key=PSQEntry.sort_key, reverse=True)
+        )
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self._size
+
+    def count_of(self, row: int) -> int | None:
+        """Stored activation count for ``row``, or None if absent."""
+        entry = self._entries.get(row)
+        return entry.count if entry is not None else None
+
+    def min_count(self) -> int:
+        """Lowest stored count; 0 when the queue has free space.
+
+        Returning 0 for a non-full queue makes the insertion rule uniform:
+        a row enters iff its count is strictly greater than ``min_count()``
+        *or* there is free space (and every real count is >= 1).
+        """
+        if len(self._entries) < self._size:
+            return 0
+        return min(entry.count for entry in self._entries.values())
+
+    def top(self) -> PSQEntry | None:
+        """Highest-priority entry (max count; newest among ties), or None."""
+        if not self._entries:
+            return None
+        return max(self._entries.values(), key=PSQEntry.sort_key)
+
+    def max_count(self) -> int:
+        top = self.top()
+        return top.count if top is not None else 0
+
+    def rows(self) -> list[int]:
+        """Row ids currently tracked, in descending priority order."""
+        return [entry.row for entry in self]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def observe(self, row: int, count: int) -> bool:
+        """Present an activation of ``row`` with in-DRAM counter ``count``.
+
+        Returns True if the row is tracked by the queue after the call
+        (hit-update, fresh insert, or insert-with-eviction), False if it was
+        rejected because the queue is full of strictly-higher counts.
+        """
+        if count < 0:
+            raise ProtocolError(f"negative activation count {count}")
+        entry = self._entries.get(row)
+        if entry is not None:
+            # Hit: update count in place (paper Figure 5, right path).
+            entry.count = count
+            self.hits += 1
+            return True
+        if len(self._entries) < self._size:
+            self._insert(row, count)
+            return True
+        victim = min(self._entries.values(), key=PSQEntry.sort_key)
+        accepts = (
+            count > victim.count
+            if self.strict_insertion
+            else count >= victim.count
+        )
+        if accepts:
+            # Priority insertion: replace the lowest-count entry.
+            del self._entries[victim.row]
+            self.evictions += 1
+            self._insert(row, count)
+            return True
+        self.rejected += 1
+        return False
+
+    def pop_top(self) -> PSQEntry:
+        """Remove and return the highest-priority entry (for mitigation)."""
+        top = self.top()
+        if top is None:
+            raise ProtocolError("pop_top() on an empty PSQ")
+        del self._entries[top.row]
+        return top
+
+    def remove(self, row: int) -> bool:
+        """Remove ``row`` if present (mitigation by an oracle); True if removed."""
+        if row in self._entries:
+            del self._entries[row]
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def _insert(self, row: int, count: int) -> None:
+        self._entries[row] = PSQEntry(row=row, count=count, seq=self._next_seq)
+        self._next_seq += 1
+        self.inserts += 1
+
+    # ------------------------------------------------------------------
+    # Convenience used by the mitigation engine
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[tuple[int, int]]:
+        """(row, count) pairs in descending priority order (for reports)."""
+        return [(entry.row, entry.count) for entry in self]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{r}:{c}" for r, c in self.snapshot())
+        return f"PSQ[{len(self)}/{self._size}]({body})"

@@ -1,0 +1,185 @@
+"""QPRAC per-bank engine: PRAC counters + PSQ + the paper's mitigation policy.
+
+One :class:`QPRACBank` instance corresponds to one DRAM bank equipped with:
+
+* per-row PRAC activation counters (:mod:`repro.core.prac_counters`),
+* a priority-based service queue (:mod:`repro.core.psq`),
+* the mitigation policy of Section III, parameterised by the evaluated
+  variant (Section V "Evaluated Designs"):
+
+  - ``QPRAC_NOOP``      — mitigate on RFM only if *this* bank's top entry
+    reached N_BO (no opportunism);
+  - ``QPRAC``           — opportunistically mitigate the top entry on every
+    received RFM, regardless of its count;
+  - ``QPRAC_PROACTIVE`` — additionally mitigate the top entry on every REF;
+  - ``QPRAC_PROACTIVE_EA`` — proactive mitigation only when the top entry
+    has reached N_PRO = N_BO / K (energy-aware);
+  - ``QPRAC_IDEAL``     — oracle: mitigates the globally highest-count rows
+    (by scanning all per-row counters) and also mitigates proactively.
+"""
+
+from __future__ import annotations
+
+from repro.core.defense import (
+    BankDefense,
+    MitigationReason,
+    apply_mitigation,
+)
+from repro.core.prac_counters import PRACCounterBank
+from repro.core.psq import PriorityServiceQueue
+from repro.params import MitigationVariant, PRACParams, prac_counter_bits
+
+
+class QPRACBank(BankDefense):
+    """QPRAC defense state for a single DRAM bank.
+
+    Parameters
+    ----------
+    params:
+        PRAC/QPRAC parameters (N_BO, N_mit, PSQ size, blast radius, ...).
+    num_rows:
+        Rows in this bank.
+    variant:
+        Which of the paper's evaluated policies this bank implements.
+    counter_bits:
+        Optional explicit PRAC counter width.  Defaults to the Section III-E
+        sizing rule for ``t_rh = 2 * n_bo`` (a conservative bound that always
+        exceeds the maximum legitimate count); pass ``None`` explicitly via
+        ``unbounded_counters=True`` for analysis runs.
+    """
+
+    def __init__(
+        self,
+        params: PRACParams,
+        num_rows: int,
+        variant: MitigationVariant = MitigationVariant.QPRAC,
+        counter_bits: int | None = None,
+        unbounded_counters: bool = False,
+    ) -> None:
+        super().__init__()
+        if counter_bits is None and not unbounded_counters:
+            # Sized so the worst-case bounded count (Section IV, Figure 13)
+            # never saturates: 2 * N_BO + N_online head-room is < 4 * N_BO
+            # for every configuration in the paper.
+            counter_bits = prac_counter_bits(max(4 * params.n_bo, 64))
+        self.params = params
+        self.variant = variant
+        self.counters = PRACCounterBank(
+            num_rows, counter_bits if not unbounded_counters else None
+        )
+        self.psq = PriorityServiceQueue(
+            params.psq_size, strict_insertion=params.strict_psq_insertion
+        )
+        self._refs_seen = 0
+
+    # ------------------------------------------------------------------
+    # Activation path
+    # ------------------------------------------------------------------
+    def on_activation(self, row: int) -> bool:
+        """Increment PRAC counter, update PSQ, report Alert demand."""
+        self.stats.activations += 1
+        count = self.counters.activate(row)
+        self.psq.observe(row, count)
+        return self.wants_alert()
+
+    def wants_alert(self) -> bool:
+        """Single-threshold rule of Section III-C: top PSQ count >= N_BO."""
+        return self.psq.max_count() >= self.params.n_bo
+
+    # ------------------------------------------------------------------
+    # Mitigation paths
+    # ------------------------------------------------------------------
+    def on_rfm(self, is_alerting_bank: bool) -> list[int]:
+        """Service one RFM; mitigate according to the variant policy."""
+        if self.variant is MitigationVariant.QPRAC_NOOP and not is_alerting_bank:
+            # No opportunistic mitigation: banks below N_BO stay idle.
+            if not self.wants_alert():
+                return []
+        if self.variant is MitigationVariant.QPRAC_IDEAL:
+            return self._mitigate_ideal(
+                MitigationReason.ALERT
+                if is_alerting_bank
+                else MitigationReason.OPPORTUNISTIC
+            )
+        reason = (
+            MitigationReason.ALERT
+            if is_alerting_bank
+            else MitigationReason.OPPORTUNISTIC
+        )
+        return self._mitigate_top(reason)
+
+    def on_ref(self) -> list[int]:
+        """Proactive mitigation in the shadow of a REF (Section III-D2)."""
+        self._refs_seen += 1
+        if self.variant in (
+            MitigationVariant.QPRAC_NOOP,
+            MitigationVariant.QPRAC,
+        ):
+            return []
+        if self._refs_seen % self.params.proactive_every_n_refs != 0:
+            return []
+        top = self.psq.top()
+        if top is None:
+            return []
+        if (
+            self.variant is MitigationVariant.QPRAC_PROACTIVE_EA
+            and top.count < self.params.n_pro
+        ):
+            # Energy-aware: skip wasteful mitigations of cold rows.
+            return []
+        return self._mitigate_top(MitigationReason.PROACTIVE)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _mitigate_top(self, reason: MitigationReason) -> list[int]:
+        """Mitigate the highest-priority PSQ entry, if any."""
+        top = self.psq.top()
+        if top is None:
+            return []
+        row = top.row
+        apply_mitigation(
+            self.counters,
+            row,
+            self.params.blast_radius,
+            self.stats,
+            reason,
+            psq=self.psq,
+        )
+        return [row]
+
+    def _mitigate_ideal(self, reason: MitigationReason) -> list[int]:
+        """Oracle mitigation: the single globally-highest-count row.
+
+        QPRAC-Ideal models UPRAC's assumption that the DRAM can identify the
+        top activated rows without a service queue.  One RFM mitigates one
+        row, so we take the global argmax per RFM.
+        """
+        top = self.counters.top_n(1)
+        if not top:
+            return []
+        row, _count = top[0]
+        apply_mitigation(
+            self.counters,
+            row,
+            self.params.blast_radius,
+            self.stats,
+            reason,
+            psq=self.psq,
+        )
+        return [row]
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests and reports
+    # ------------------------------------------------------------------
+    def max_tracked_count(self) -> int:
+        return self.psq.max_count()
+
+    def storage_bits(self) -> int:
+        """SRAM bits of the PSQ CAM (Section VI-F: ~15 bytes per bank).
+
+        Each entry: a 17-bit RowID (128K rows) plus the activation counter.
+        """
+        counter_bits = prac_counter_bits(max(2 * self.params.n_bo, 64))
+        row_bits = max(1, (self.counters.num_rows - 1).bit_length())
+        return self.params.psq_size * (row_bits + counter_bits)

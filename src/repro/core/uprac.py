@@ -1,0 +1,80 @@
+"""UPRAC — the queue-less, oracular PRAC design (Canpolat et al.).
+
+UPRAC raises an Alert when *any* row's counter crosses N_BO and then
+mitigates the top-N activated rows globally.  The paper's critique
+(Section II-E2) is twofold:
+
+* **Impractical**: identifying the global top-N requires reading the PRAC
+  counter of every row in the bank — milliseconds of lock-out per Alert.
+  :meth:`UPRACBank.alert_scan_cost_ns` quantifies that cost with the
+  paper's arithmetic (activate + read 128K rows at tRC each).
+* **Insecure when made practical**: bolting on a FIFO queue to avoid the
+  scan re-introduces the Fill+Escape vulnerability (modelled by
+  :class:`repro.core.panopticon.FullCompareBank`).
+
+The oracle behaviour itself (used as the QPRAC-Ideal upper bound in the
+evaluation) is implemented by
+:class:`repro.core.qprac.QPRACBank` with ``MitigationVariant.QPRAC_IDEAL``;
+this module provides the standalone UPRAC model plus the practicality
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.core.defense import (
+    BankDefense,
+    MitigationReason,
+    apply_mitigation,
+)
+from repro.core.prac_counters import PRACCounterBank
+from repro.errors import ConfigError
+
+
+class UPRACBank(BankDefense):
+    """Queue-less UPRAC: per-row counters only, oracle top-N mitigation."""
+
+    def __init__(
+        self,
+        n_bo: int,
+        num_rows: int,
+        blast_radius: int = 2,
+    ) -> None:
+        super().__init__()
+        if n_bo < 1:
+            raise ConfigError(f"n_bo must be >= 1, got {n_bo}")
+        self.n_bo = n_bo
+        self.counters = PRACCounterBank(num_rows, counter_bits=None)
+        self.blast_radius = blast_radius
+
+    def on_activation(self, row: int) -> bool:
+        self.stats.activations += 1
+        self.counters.activate(row)
+        return self.wants_alert()
+
+    def wants_alert(self) -> bool:
+        """Alert as soon as any counter reaches N_BO (requires the oracle)."""
+        return self.counters.max_count() >= self.n_bo
+
+    def on_rfm(self, is_alerting_bank: bool) -> list[int]:
+        """Mitigate the single globally-highest-count row (one per RFM)."""
+        top = self.counters.top_n(1)
+        if not top:
+            return []
+        row, _count = top[0]
+        apply_mitigation(
+            self.counters,
+            row,
+            self.blast_radius,
+            self.stats,
+            MitigationReason.ALERT if is_alerting_bank else MitigationReason.OPPORTUNISTIC,
+        )
+        return [row]
+
+    def alert_scan_cost_ns(self, t_rc_ns: float = 52.0) -> float:
+        """Time to read every row's PRAC counter once (paper Section I).
+
+        Each row must be activated (~52 ns) to read its counter; for a
+        128K-row bank this is multiple milliseconds per Alert, which is the
+        paper's impracticality argument.
+        """
+        return self.counters.num_rows * t_rc_ns

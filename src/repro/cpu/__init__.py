@@ -1,0 +1,14 @@
+"""CPU substrate: traces, shared LLC, trace-driven cores, system driver."""
+
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.core import TraceCore
+from repro.cpu.system import MulticoreSystem, SystemResult
+from repro.cpu.trace import Trace
+
+__all__ = [
+    "SetAssociativeCache",
+    "TraceCore",
+    "MulticoreSystem",
+    "SystemResult",
+    "Trace",
+]

@@ -1,0 +1,183 @@
+"""Trace-driven out-of-order core proxy.
+
+The model captures the three CPU-side effects the paper's results depend
+on, without simulating a pipeline cycle by cycle:
+
+* **Front-end rate**: non-memory instructions issue at ``issue_width``
+  per cycle (4-wide at 4 GHz, Table II).
+* **Memory-level parallelism**: loads issue into the memory system as
+  soon as they enter the ROB; up to ``max_outstanding_misses`` may be in
+  flight (MSHR cap), and the ROB bounds how far the front end can run
+  ahead of the oldest incomplete load (352 entries).
+* **In-order retirement**: a load blocks retirement until its data
+  returns; once the ROB fills behind it the core stalls — exactly how
+  DRAM blackouts (RFM/REF/Alert service) turn into slowdown.
+
+Writes are posted: they consume a write-buffer slot and DRAM bandwidth
+but never block retirement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.cpu.trace import Trace
+from repro.params import CPUConfig
+
+#: Posted-write buffer depth (industry-typical; not in Table II).
+WRITE_BUFFER_DEPTH = 32
+
+IssueFn = Callable[[int, int, bool, float, Callable[[float], None] | None], None]
+
+
+class _OutstandingLoad:
+    """One in-flight load: its position in program order and completion."""
+
+    __slots__ = ("inst_count", "complete_time")
+
+    def __init__(self, inst_count: int) -> None:
+        self.inst_count = inst_count
+        self.complete_time: float | None = None
+
+
+class TraceCore:
+    """One core executing a :class:`Trace` against the memory hierarchy.
+
+    ``issue_fn(core_id, addr, is_write, time, callback)`` is provided by
+    :class:`repro.cpu.system.MulticoreSystem` and routes the access through
+    the shared LLC into DRAM.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Trace,
+        cfg: CPUConfig,
+        issue_fn: IssueFn,
+    ) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.cfg = cfg
+        self._issue_fn = issue_fn
+        self._idx = 0
+        self._inst_issued = 0
+        self._inst_retired = 0
+        self._t_front = 0.0
+        self._outstanding: deque[_OutstandingLoad] = deque()
+        self._writes_in_flight = 0
+        self.done = False
+        self.finish_time = 0.0
+        self.loads_issued = 0
+        self.stores_issued = 0
+        self._last_complete = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> int:
+        """Instructions retired so far."""
+        return self._inst_retired
+
+    @property
+    def total_instructions(self) -> int:
+        return self.trace.total_instructions
+
+    def ipc(self, freq_ghz: float | None = None) -> float:
+        """Retired-instruction IPC over the core's completion time."""
+        if not self.done or self.finish_time <= 0:
+            return 0.0
+        freq = freq_ghz if freq_ghz is not None else self.cfg.freq_ghz
+        cycles = self.finish_time * freq
+        return self.total_instructions / cycles if cycles else 0.0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Kick off execution at t=0 (issue until the first stall)."""
+        self._advance(0.0)
+
+    def _advance(self, now: float) -> None:
+        """Issue trace entries until a structural stall or trace end."""
+        cfg = self.cfg
+        per_inst_ns = cfg.cycle_ns / cfg.issue_width
+        trace = self.trace
+        if not self._outstanding:
+            # No incomplete load blocks the ROB head: bubbles and posted
+            # writes retire as the front end moves past them.
+            self._inst_retired = self._inst_issued
+        while self._idx < len(trace):
+            bubbles = int(trace.bubbles[self._idx])
+            need = bubbles + 1
+            space = cfg.rob_entries - (self._inst_issued - self._inst_retired)
+            if need > space:
+                if need <= cfg.rob_entries or self._outstanding:
+                    return  # ROB full: resume when the oldest load completes
+                # A bubble block larger than the whole ROB streams through
+                # an otherwise-empty ROB instead of deadlocking.
+            is_write = bool(trace.is_write[self._idx])
+            if is_write:
+                if self._writes_in_flight >= WRITE_BUFFER_DEPTH:
+                    return  # write buffer full
+            elif len(self._outstanding) >= cfg.max_outstanding_misses:
+                return  # MSHRs full
+            addr = int(trace.addresses[self._idx])
+            self._t_front += need * per_inst_ns
+            self._inst_issued += need
+            self._idx += 1
+            if is_write:
+                self.stores_issued += 1
+                self._writes_in_flight += 1
+                self._issue_fn(
+                    self.core_id, addr, True, self._t_front, self._on_write_done
+                )
+            else:
+                self.loads_issued += 1
+                load = _OutstandingLoad(self._inst_issued)
+                self._outstanding.append(load)
+                self._issue_fn(
+                    self.core_id,
+                    addr,
+                    False,
+                    self._t_front,
+                    self._make_load_callback(load),
+                )
+        if not self._outstanding:
+            self._inst_retired = self._inst_issued
+            self._finish()
+
+    def _make_load_callback(
+        self, load: _OutstandingLoad
+    ) -> Callable[[float], None]:
+        def on_complete(done_ns: float) -> None:
+            load.complete_time = done_ns
+            self._last_complete = max(self._last_complete, done_ns)
+            # In-order retirement: drain completed loads from the head.
+            while self._outstanding and (
+                self._outstanding[0].complete_time is not None
+            ):
+                head = self._outstanding.popleft()
+                self._inst_retired = head.inst_count
+            if not self._outstanding:
+                self._inst_retired = self._inst_issued
+            # A stalled front end resumes no earlier than the unblocking
+            # completion.
+            self._t_front = max(self._t_front, done_ns)
+            self._advance(done_ns)
+
+        return on_complete
+
+    def _on_write_done(self, done_ns: float) -> None:
+        self._writes_in_flight -= 1
+        self._last_complete = max(self._last_complete, done_ns)
+        self._advance(done_ns)
+
+    def _finish(self) -> None:
+        if self.done:
+            return
+        if self._idx < len(self.trace) or self._outstanding:
+            return
+        self.done = True
+        self.finish_time = max(self._t_front, self._last_complete)

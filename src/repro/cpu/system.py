@@ -1,0 +1,160 @@
+"""Multicore system driver: cores + shared LLC + DDR5 memory system.
+
+Wires :class:`~repro.cpu.core.TraceCore` instances through a shared
+:class:`~repro.cpu.cache.SetAssociativeCache` into the
+:class:`~repro.controller.memctrl.MemorySystem`, runs the event loop to
+completion, and reports per-core IPCs plus memory-side statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controller.memctrl import DefenseFactory, MemorySystem
+from repro.core.defense import MitigationReason
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.core import TraceCore
+from repro.cpu.trace import Trace
+from repro.errors import ConfigError, ReproError
+from repro.params import SystemConfig
+from repro.engine import EventQueue
+
+#: Hard cap on simulation events, guarding against scheduling livelock.
+MAX_EVENTS = 200_000_000
+
+
+@dataclass
+class SystemResult:
+    """Everything a benchmark needs from one simulation run."""
+
+    workload: str
+    variant: str
+    sim_time_ns: float
+    core_ipcs: list[float]
+    instructions: int
+    acts: int
+    reads: int
+    writes: int
+    refs: int
+    alerts: int
+    rfm_commands: int
+    cadence_rfms: int
+    row_hit_rate: float
+    llc_hit_rate: float
+    avg_read_latency_ns: float
+    mitigations: dict[MitigationReason, int] = field(default_factory=dict)
+
+    @property
+    def ipc_sum(self) -> float:
+        return sum(self.core_ipcs)
+
+    @property
+    def alerts_per_trefi(self) -> float:
+        """Alert Back-Offs per tREFI interval (paper Figure 15)."""
+        if self.sim_time_ns <= 0:
+            return 0.0
+        trefis = self.sim_time_ns / 3900.0
+        return self.alerts / trefis if trefis else 0.0
+
+    def weighted_speedup_vs(self, baseline: "SystemResult") -> float:
+        """Normalised weighted speedup against a baseline run.
+
+        For homogeneous workloads (the paper's setup) the per-core
+        IPC_alone factors cancel, so this is the ratio of weighted sums.
+        """
+        base = baseline.ipc_sum
+        if base <= 0:
+            raise ReproError("baseline run has zero IPC")
+        return self.ipc_sum / base
+
+    def slowdown_pct_vs(self, baseline: "SystemResult") -> float:
+        """Performance overhead in percent against the baseline."""
+        return (1.0 - self.weighted_speedup_vs(baseline)) * 100.0
+
+
+class MulticoreSystem:
+    """One simulated machine: N trace cores, shared LLC, DDR5 memory."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: list[Trace],
+        defense_factory: DefenseFactory,
+        workload_name: str = "workload",
+    ) -> None:
+        if not traces:
+            raise ConfigError("at least one trace is required")
+        if len(traces) > config.cpu.cores:
+            raise ConfigError(
+                f"{len(traces)} traces for {config.cpu.cores} cores"
+            )
+        self.cfg = config
+        self.workload_name = workload_name
+        self.events = EventQueue()
+        self.memory = MemorySystem(config, self.events, defense_factory)
+        self.llc = SetAssociativeCache(
+            config.cpu.llc_bytes,
+            config.cpu.llc_ways,
+            config.org.line_size_bytes,
+        )
+        self.cores = [
+            TraceCore(i, trace, config.cpu, self._issue_access)
+            for i, trace in enumerate(traces)
+        ]
+
+    # ------------------------------------------------------------------
+    # Memory-hierarchy glue
+    # ------------------------------------------------------------------
+    def _issue_access(self, core_id, addr, is_write, time, callback) -> None:
+        hit, writeback = self.llc.access(addr, is_write)
+        llc_done = time + self.cfg.cpu.llc_latency_ns
+        if hit:
+            if callback is not None:
+                self.events.schedule(llc_done, callback)
+        else:
+            self.memory.enqueue(
+                addr, is_write, llc_done, callback=callback, core_id=core_id
+            )
+        if writeback is not None:
+            self.memory.enqueue(writeback, True, llc_done, callback=None)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, variant_name: str | None = None) -> SystemResult:
+        """Run all cores to completion and return aggregate results."""
+        for core in self.cores:
+            core.start()
+        events = self.events
+        processed = 0
+        while not all(core.done for core in self.cores):
+            if not events.step():
+                raise ReproError(
+                    "event queue drained before all cores finished — "
+                    "a request was lost or a core deadlocked"
+                )
+            processed += 1
+            if processed > MAX_EVENTS:
+                raise ReproError("simulation exceeded the event budget")
+        sim_time = max(core.finish_time for core in self.cores)
+        stats = self.memory.stats
+        total_mem = stats.reads + stats.writes
+        row_hit_rate = stats.row_hits / total_mem if total_mem else 0.0
+        return SystemResult(
+            workload=self.workload_name,
+            variant=variant_name or self.cfg.variant.value,
+            sim_time_ns=sim_time,
+            core_ipcs=[core.ipc() for core in self.cores],
+            instructions=sum(core.total_instructions for core in self.cores),
+            acts=stats.acts,
+            reads=stats.reads,
+            writes=stats.writes,
+            refs=stats.refs,
+            alerts=stats.alerts,
+            rfm_commands=stats.rfm_commands,
+            cadence_rfms=stats.cadence_rfms,
+            row_hit_rate=row_hit_rate,
+            llc_hit_rate=self.llc.hit_rate,
+            avg_read_latency_ns=stats.avg_read_latency_ns,
+            mitigations=self.memory.defense_stats(),
+        )

@@ -1,0 +1,77 @@
+"""Workload trace format for the trace-driven CPU model.
+
+A trace is a sequence of entries ``(bubbles, address, is_write)``: the
+core executes ``bubbles`` non-memory instructions, then one memory
+instruction touching ``address``.  This is the same shape as the
+Ramulator2 CPU traces the paper uses; ours are held as numpy arrays for
+compactness and generated synthetically (:mod:`repro.workloads`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+class Trace:
+    """Immutable column-oriented trace: bubbles, addresses, write flags."""
+
+    def __init__(
+        self,
+        bubbles: np.ndarray,
+        addresses: np.ndarray,
+        is_write: np.ndarray,
+        name: str = "trace",
+    ) -> None:
+        if not (len(bubbles) == len(addresses) == len(is_write)):
+            raise TraceError(
+                "trace columns disagree on length: "
+                f"{len(bubbles)}/{len(addresses)}/{len(is_write)}"
+            )
+        if len(bubbles) == 0:
+            raise TraceError("empty trace")
+        if bubbles.min() < 0:
+            raise TraceError("negative bubble count in trace")
+        self.bubbles = np.ascontiguousarray(bubbles, dtype=np.int32)
+        self.addresses = np.ascontiguousarray(addresses, dtype=np.int64)
+        self.is_write = np.ascontiguousarray(is_write, dtype=bool)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.bubbles)
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions represented: bubbles plus one memory op per entry."""
+        return int(self.bubbles.sum()) + len(self)
+
+    @property
+    def write_fraction(self) -> float:
+        return float(self.is_write.mean())
+
+    def truncated(self, n_entries: int, name: str | None = None) -> "Trace":
+        """A prefix of this trace (used to scale experiment run time)."""
+        if n_entries < 1:
+            raise TraceError(f"n_entries must be >= 1, got {n_entries}")
+        n = min(n_entries, len(self))
+        return Trace(
+            self.bubbles[:n],
+            self.addresses[:n],
+            self.is_write[:n],
+            name=name or self.name,
+        )
+
+    @classmethod
+    def from_lists(
+        cls,
+        entries: list[tuple[int, int, bool]],
+        name: str = "trace",
+    ) -> "Trace":
+        """Build from ``[(bubbles, address, is_write), ...]`` (tests)."""
+        if not entries:
+            raise TraceError("empty trace")
+        bubbles = np.array([e[0] for e in entries], dtype=np.int32)
+        addrs = np.array([e[1] for e in entries], dtype=np.int64)
+        writes = np.array([e[2] for e in entries], dtype=bool)
+        return cls(bubbles, addrs, writes, name=name)

@@ -1,0 +1,6 @@
+"""DDR5 DRAM substrate: address mapping, bank timing state, organisation."""
+
+from repro.dram.address import AddressMapper, DramAddress
+from repro.dram.bank import BankState
+
+__all__ = ["AddressMapper", "DramAddress", "BankState"]

@@ -1,0 +1,141 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+The mapper follows the common row-interleaved layout used by Ramulator2's
+DDR5 presets: from least-significant to most-significant physical address
+bits ::
+
+    | line offset | column | bank group | bank | rank | channel | row |
+
+Consecutive cache lines therefore stream through one row (row-buffer
+locality), while bits just above the column spread traffic across bank
+groups and banks (bank-level parallelism) — the behaviour the paper's
+activation-rate arithmetic depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.params import DRAMOrganization
+
+
+@dataclass(frozen=True)
+class DramAddress:
+    """Decoded DRAM coordinates of one cache-line-sized access."""
+
+    channel: int
+    rank: int
+    bankgroup: int
+    bank: int
+    row: int
+    column: int
+
+    def flat_bank(self, org: DRAMOrganization) -> int:
+        """Globally unique bank index across the whole memory."""
+        per_rank = org.banks_per_rank
+        rank_index = self.channel * org.ranks + self.rank
+        return rank_index * per_rank + self.bankgroup * org.banks_per_group + self.bank
+
+
+def _bits(value: int) -> int:
+    """Number of address bits consumed by a power-of-two quantity."""
+    if value < 1 or value & (value - 1):
+        raise ConfigError(f"{value} must be a power of two for bit slicing")
+    return value.bit_length() - 1
+
+
+class AddressMapper:
+    """Slices physical byte addresses into :class:`DramAddress` fields."""
+
+    def __init__(self, org: DRAMOrganization) -> None:
+        self.org = org
+        self._offset_bits = _bits(org.line_size_bytes)
+        self._column_bits = _bits(org.columns_per_row)
+        self._bg_bits = _bits(org.bankgroups)
+        self._bank_bits = _bits(org.banks_per_group)
+        self._rank_bits = _bits(org.ranks)
+        self._channel_bits = _bits(org.channels)
+        self._row_bits = _bits(org.rows_per_bank)
+
+    @property
+    def address_bits(self) -> int:
+        """Total meaningful physical address bits."""
+        return (
+            self._offset_bits
+            + self._column_bits
+            + self._bg_bits
+            + self._bank_bits
+            + self._rank_bits
+            + self._channel_bits
+            + self._row_bits
+        )
+
+    def decode(self, phys_addr: int) -> DramAddress:
+        """Map a physical byte address to DRAM coordinates."""
+        if phys_addr < 0:
+            raise ConfigError(f"negative physical address {phys_addr:#x}")
+        a = phys_addr >> self._offset_bits
+        column = a & ((1 << self._column_bits) - 1)
+        a >>= self._column_bits
+        bankgroup = a & ((1 << self._bg_bits) - 1)
+        a >>= self._bg_bits
+        bank = a & ((1 << self._bank_bits) - 1)
+        a >>= self._bank_bits
+        rank = a & ((1 << self._rank_bits) - 1)
+        a >>= self._rank_bits
+        channel = a & ((1 << self._channel_bits) - 1)
+        a >>= self._channel_bits
+        row = a & ((1 << self._row_bits) - 1)
+        return DramAddress(
+            channel=channel,
+            rank=rank,
+            bankgroup=bankgroup,
+            bank=bank,
+            row=row,
+            column=column,
+        )
+
+    def encode(self, addr: DramAddress) -> int:
+        """Inverse of :meth:`decode` (used by workload/attack generators)."""
+        a = addr.row
+        a = (a << self._channel_bits) | addr.channel
+        a = (a << self._rank_bits) | addr.rank
+        a = (a << self._bank_bits) | addr.bank
+        a = (a << self._bg_bits) | addr.bankgroup
+        a = (a << self._column_bits) | addr.column
+        return a << self._offset_bits
+
+    def compose(
+        self,
+        row: int,
+        column: int = 0,
+        channel: int = 0,
+        rank: int = 0,
+        bankgroup: int = 0,
+        bank: int = 0,
+    ) -> int:
+        """Build a physical address from explicit coordinates."""
+        org = self.org
+        if not 0 <= row < org.rows_per_bank:
+            raise ConfigError(f"row {row} out of range")
+        if not 0 <= column < org.columns_per_row:
+            raise ConfigError(f"column {column} out of range")
+        if not 0 <= bankgroup < org.bankgroups:
+            raise ConfigError(f"bankgroup {bankgroup} out of range")
+        if not 0 <= bank < org.banks_per_group:
+            raise ConfigError(f"bank {bank} out of range")
+        if not 0 <= rank < org.ranks:
+            raise ConfigError(f"rank {rank} out of range")
+        if not 0 <= channel < org.channels:
+            raise ConfigError(f"channel {channel} out of range")
+        return self.encode(
+            DramAddress(
+                channel=channel,
+                rank=rank,
+                bankgroup=bankgroup,
+                bank=bank,
+                row=row,
+                column=column,
+            )
+        )

@@ -1,0 +1,67 @@
+"""Per-bank DRAM timing state.
+
+Each bank tracks its open row and the earliest instants at which the next
+ACT / CAS / PRE may legally start, derived from the DDR5 constraints in
+:class:`repro.params.DDR5Timing`.  The memory controller composes these
+with rank-level blackouts (REF, RFM, Alert servicing) when scheduling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.controller.request import Request
+    from repro.core.defense import BankDefense
+
+
+@dataclass
+class BankState:
+    """Mutable scheduling state of one DRAM bank."""
+
+    index: int
+    channel: int
+    rank: int
+    bankgroup: int
+    bank: int
+    defense: "BankDefense"
+
+    open_row: int | None = None
+    #: Earliest start for the next ACT (tRC after the previous ACT).
+    act_allowed: float = 0.0
+    #: Earliest start for the next PRE (tRAS / tRTP / tWR constraints).
+    pre_allowed: float = 0.0
+    #: Earliest start for the next CAS to the open row (tRCD after ACT).
+    cas_allowed: float = 0.0
+    #: Bank-scoped blackout (RFMsb / RFMpb / cadence RFMs end here).
+    blocked_until: float = 0.0
+    #: The bank is considered occupied by its current request until here.
+    ready_at: float = 0.0
+
+    pending: deque = field(default_factory=deque)
+    consider_scheduled: bool = False
+
+    # Statistics
+    acts: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    cadence_act_counter: int = 0
+
+    def pick_request(self) -> "Request":
+        """FR-FCFS: oldest row-hit first, otherwise the oldest request."""
+        if self.open_row is not None:
+            for i, req in enumerate(self.pending):
+                if req.row == self.open_row:
+                    if i:
+                        del self.pending[i]
+                        return req
+                    break
+        return self.pending.popleft()
+
+    @property
+    def row_buffer_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses + self.row_conflicts
+        return self.row_hits / total if total else 0.0

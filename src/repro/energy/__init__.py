@@ -1,0 +1,37 @@
+"""Energy and storage models (Tables III & IV, Figure 22)."""
+
+from repro.energy.model import (
+    E_ACT,
+    E_REF_ROW,
+    E_RW,
+    E_STATIC_PER_BANK_PER_TREFI,
+    EnergyBreakdown,
+    energy_of_run,
+    mitigation_breakdown_pct,
+    mitigation_energy_pct,
+)
+from repro.energy.storage import (
+    StorageRow,
+    cat_bytes,
+    misra_gries_bytes,
+    qprac_bytes,
+    table4,
+    twice_bytes,
+)
+
+__all__ = [
+    "E_ACT",
+    "E_REF_ROW",
+    "E_RW",
+    "E_STATIC_PER_BANK_PER_TREFI",
+    "EnergyBreakdown",
+    "energy_of_run",
+    "mitigation_breakdown_pct",
+    "mitigation_energy_pct",
+    "StorageRow",
+    "cat_bytes",
+    "misra_gries_bytes",
+    "qprac_bytes",
+    "table4",
+    "twice_bytes",
+]

@@ -1,0 +1,93 @@
+"""SRAM storage models for in-DRAM trackers (Table IV, Section VI-F).
+
+QPRAC's storage is computed from first principles: a 5-entry CAM with a
+17-bit RowID and a 7-bit activation counter per entry — 15 bytes per bank,
+independent of T_RH.
+
+The comparison trackers scale inversely with T_RH because they must hold
+every row that could reach the threshold within a refresh window:
+
+* **Misra-Gries** (Graphene/Mithril-class summaries),
+* **TWiCe** (time-window counters),
+* **CAT** (counter trees).
+
+For those three, Table IV's T_RH = 4K column is used as the anchor and
+scaled by ``4096 / T_RH`` — the sizing rule all three papers share
+(entries ~ activations-per-window / threshold).  The Misra-Gries *entry
+count* can also be derived from the sketch's own bound via
+:meth:`repro.mitigations.misra_gries.MisraGries.entries_for_threshold`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.params import PRACParams, prac_counter_bits
+
+#: Paper Table IV anchors at T_RH = 4K, in bytes per bank.
+MISRA_GRIES_BYTES_AT_4K = 42.5 * 1024
+TWICE_BYTES_AT_4K = 300 * 1024
+CAT_BYTES_AT_4K = 196 * 1024
+_ANCHOR_TRH = 4096
+
+#: RowID width for 128K-row banks (Section VI-F).
+ROW_ID_BITS = 17
+
+
+@dataclass(frozen=True)
+class StorageRow:
+    """One Table IV row: bytes per bank at a given threshold."""
+
+    tracker: str
+    t_rh: int
+    bytes_per_bank: float
+
+    @property
+    def human(self) -> str:
+        value = self.bytes_per_bank
+        if value >= 1024 * 1024:
+            return f"{value / (1024 * 1024):.2f} MB"
+        if value >= 1024:
+            return f"{value / 1024:.1f} KB"
+        return f"{value:.0f} bytes"
+
+
+def qprac_bytes(params: PRACParams | None = None, t_rh: int = 66) -> float:
+    """QPRAC PSQ storage: entries x (RowID + counter) bits (15 B default)."""
+    params = params or PRACParams()
+    counter_bits = prac_counter_bits(t_rh)
+    bits = params.psq_size * (ROW_ID_BITS + counter_bits)
+    return bits / 8.0
+
+
+def _scaled(anchor_bytes: float, t_rh: int) -> float:
+    if t_rh < 1:
+        raise ConfigError(f"t_rh must be >= 1, got {t_rh}")
+    return anchor_bytes * _ANCHOR_TRH / t_rh
+
+
+def misra_gries_bytes(t_rh: int) -> float:
+    """Misra-Gries summary bytes per bank at ``t_rh``."""
+    return _scaled(MISRA_GRIES_BYTES_AT_4K, t_rh)
+
+
+def twice_bytes(t_rh: int) -> float:
+    """TWiCe table bytes per bank at ``t_rh``."""
+    return _scaled(TWICE_BYTES_AT_4K, t_rh)
+
+
+def cat_bytes(t_rh: int) -> float:
+    """CAT counter-tree bytes per bank at ``t_rh``."""
+    return _scaled(CAT_BYTES_AT_4K, t_rh)
+
+
+def table4(t_rh_values: tuple[int, ...] = (4096, 100)) -> list[StorageRow]:
+    """Regenerate Table IV: per-bank SRAM of each tracker."""
+    rows: list[StorageRow] = []
+    for t_rh in t_rh_values:
+        rows.append(StorageRow("Misra-Gries", t_rh, misra_gries_bytes(t_rh)))
+        rows.append(StorageRow("TWiCe", t_rh, twice_bytes(t_rh)))
+        rows.append(StorageRow("CAT", t_rh, cat_bytes(t_rh)))
+        rows.append(StorageRow("QPRAC", t_rh, qprac_bytes()))
+    return rows

@@ -1,0 +1,87 @@
+"""Discrete-event simulation engine.
+
+A minimal priority-queue event loop shared by the memory-system and CPU
+models.  Events are ``(time, sequence, callback)`` triples; the sequence
+number makes ordering stable for simultaneous events (FIFO among equals),
+which keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import ReproError
+
+EventCallback = Callable[[float], None]
+
+
+class EventQueue:
+    """Time-ordered event queue driving a simulation."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, EventCallback]] = []
+        self._seq = 0
+        self._now = 0.0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Timestamp of the most recently processed event."""
+        return self._now
+
+    def schedule(self, time: float, callback: EventCallback) -> None:
+        """Schedule ``callback(time)`` at the given timestamp.
+
+        Scheduling in the past is clamped to *now*: components sometimes
+        learn about work slightly after the instant it became possible,
+        which must not travel backwards in time.
+        """
+        if time < self._now:
+            time = self._now
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False when the queue is empty.
+
+        Used by drivers that terminate on a predicate (e.g. "all cores
+        done") while perpetual events such as refresh keep the queue
+        non-empty forever.
+        """
+        if not self._heap:
+            return False
+        time, _seq, callback = heapq.heappop(self._heap)
+        self._now = time
+        callback(time)
+        self.events_processed += 1
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in time order.
+
+        Stops when the queue is empty, when the next event is beyond
+        ``until``, or after ``max_events`` (a runaway-simulation guard).
+        Returns the final simulation time.
+        """
+        processed = 0
+        while self._heap:
+            time, _seq, callback = self._heap[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = time
+            callback(time)
+            processed += 1
+            self.events_processed += 1
+            if max_events is not None and processed >= max_events:
+                raise ReproError(
+                    f"event budget exhausted after {processed} events at "
+                    f"t={self._now:.1f} ns — likely a scheduling livelock"
+                )
+        if until is not None and self._now < until and not self._heap:
+            self._now = until
+        return self._now

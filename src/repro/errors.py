@@ -1,0 +1,28 @@
+"""Exception hierarchy shared across the QPRAC reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Configuration mistakes raise :class:`ConfigError` at
+construction time rather than producing silently-wrong simulations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ProtocolError(ReproError):
+    """A DRAM/ABO protocol rule was violated by a caller.
+
+    Examples: issuing an activation to a bank that is mid-RFM, or asking a
+    tracker to mitigate when it has nothing queued and the policy forbids it.
+    """
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or exhausted unexpectedly."""

@@ -1,0 +1,68 @@
+"""Baseline in-DRAM mitigations compared against QPRAC (Figure 20).
+
+* :class:`~repro.mitigations.pride.PrIDEBank` — probabilistic sampling
+  FIFO with cadence RFMs.
+* :class:`~repro.mitigations.mithril.MithrilBank` — Misra-Gries summary
+  with cadence RFMs.
+* :class:`~repro.mitigations.misra_gries.MisraGries` — the underlying
+  frequent-item sketch (also used by the Table IV storage model).
+"""
+
+from repro.controller.memctrl import DefenseFactory
+from repro.core.defense import BankDefense
+from repro.mitigations.misra_gries import MisraGries
+from repro.mitigations.mithril import (
+    MITHRIL_ENTRIES_PER_BANK,
+    MithrilBank,
+    mithril_cadence_acts,
+    mithril_entries,
+)
+from repro.mitigations.pride import (
+    PRIDE_SAMPLE_PROBABILITY,
+    PRIDE_TRH_TO_INTERVAL_RATIO,
+    PrIDEBank,
+    pride_cadence_acts,
+)
+from repro.params import SystemConfig
+
+
+def pride_factory(t_rh: int) -> DefenseFactory:
+    """Per-bank PrIDE engines tuned for ``t_rh``."""
+
+    def make(bank_index: int, config: SystemConfig) -> BankDefense:
+        return PrIDEBank(
+            t_rh,
+            num_rows=config.org.rows_per_bank,
+            blast_radius=config.prac.blast_radius,
+            seed=bank_index,
+        )
+
+    return make
+
+
+def mithril_factory(t_rh: int) -> DefenseFactory:
+    """Per-bank Mithril engines tuned for ``t_rh``."""
+
+    def make(_bank_index: int, config: SystemConfig) -> BankDefense:
+        return MithrilBank(
+            t_rh,
+            num_rows=config.org.rows_per_bank,
+            blast_radius=config.prac.blast_radius,
+        )
+
+    return make
+
+
+__all__ = [
+    "MisraGries",
+    "MithrilBank",
+    "MITHRIL_ENTRIES_PER_BANK",
+    "mithril_cadence_acts",
+    "mithril_entries",
+    "PrIDEBank",
+    "PRIDE_SAMPLE_PROBABILITY",
+    "PRIDE_TRH_TO_INTERVAL_RATIO",
+    "pride_cadence_acts",
+    "pride_factory",
+    "mithril_factory",
+]

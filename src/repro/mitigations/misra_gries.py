@@ -1,0 +1,90 @@
+"""Misra-Gries frequent-item summary (the tracker inside Mithril/ProTRR).
+
+The Misra-Gries algorithm maintains ``k`` (item, counter) pairs and
+guarantees that any item occurring more than ``N / (k + 1)`` times in a
+stream of length ``N`` is present in the summary — which is exactly the
+guarantee in-DRAM trackers like Mithril and ProTRR (and the memory-
+controller-side Graphene) build on: size the table so that any row that
+could reach the Rowhammer threshold is guaranteed to be tracked.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class MisraGries:
+    """Classic Misra-Gries summary over a stream of row ids."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ConfigError(f"entries must be >= 1, got {entries}")
+        self.entries = entries
+        self._table: dict[int, int] = {}
+        #: Global decrement counter ("spillover" in Mithril's terms).
+        self.decrements = 0
+        self.stream_length = 0
+
+    def observe(self, item: int) -> None:
+        """Process one stream item."""
+        self.stream_length += 1
+        table = self._table
+        if item in table:
+            table[item] += 1
+            return
+        if len(table) < self.entries:
+            table[item] = 1
+            return
+        # Decrement-all step: every counter loses one; zeros are evicted.
+        self.decrements += 1
+        dead = []
+        for key in table:
+            table[key] -= 1
+            if table[key] == 0:
+                dead.append(key)
+        for key in dead:
+            del table[key]
+
+    def count_of(self, item: int) -> int:
+        """Lower-bound estimate of the item's frequency (0 if untracked)."""
+        return self._table.get(item, 0)
+
+    def top(self) -> tuple[int, int] | None:
+        """(item, estimate) with the highest estimate, or None."""
+        if not self._table:
+            return None
+        item = max(self._table, key=lambda k: (self._table[k], k))
+        return item, self._table[item]
+
+    def pop_top(self) -> tuple[int, int] | None:
+        top = self.top()
+        if top is not None:
+            del self._table[top[0]]
+        return top
+
+    def remove(self, item: int) -> None:
+        self._table.pop(item, None)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._table
+
+    def error_bound(self) -> float:
+        """Maximum undercount of any item's estimate: ``N / (k + 1)``."""
+        return self.stream_length / (self.entries + 1)
+
+    @staticmethod
+    def entries_for_threshold(
+        stream_length: int, threshold: int, safety: float = 2.0
+    ) -> int:
+        """Entries needed so any row reaching ``threshold`` activations in
+        a window of ``stream_length`` is tracked with margin ``safety``.
+
+        Graphene/Mithril size their tables as ``N / (T / safety)`` so the
+        tracked estimate lags the true count by less than ``T / safety``.
+        """
+        if threshold < 1:
+            raise ConfigError(f"threshold must be >= 1, got {threshold}")
+        return max(1, int(stream_length / (threshold / safety)))

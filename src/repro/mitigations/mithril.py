@@ -1,0 +1,96 @@
+"""Mithril (Kim et al., HPCA'22) — Misra-Gries in-DRAM tracker baseline.
+
+Mithril keeps a Misra-Gries summary of recent activations per bank and
+mitigates the highest-estimate entry on each controller-issued RFM.  Its
+guarantee comes with two costs the QPRAC paper highlights:
+
+* **Storage**: the summary needs thousands of entries at low thresholds
+  (the paper quotes a 5,300-entry CAM per bank), versus QPRAC's 5 entries.
+* **RFM cadence**: the Misra-Gries error bound forces roughly twice the
+  RFM frequency of PrIDE at the same T_RH, which is why Mithril's
+  slowdown exceeds PrIDE's across Figure 20.
+
+:func:`mithril_cadence_acts` and :func:`mithril_entries` encode those
+scalings; the tracker itself is the real algorithm
+(:class:`repro.mitigations.misra_gries.MisraGries`).
+"""
+
+from __future__ import annotations
+
+from repro.core.defense import (
+    BankDefense,
+    MitigationReason,
+    apply_mitigation,
+)
+from repro.core.prac_counters import PRACCounterBank
+from repro.errors import ConfigError
+from repro.mitigations.misra_gries import MisraGries
+
+#: RFM interval = T_RH / this ratio.  The Misra-Gries estimate may lag
+#: the true count by the decrement total, so Mithril needs twice PrIDE's
+#: RFM frequency at the same threshold (ratio 50 vs 25).
+MITHRIL_TRH_TO_INTERVAL_RATIO = 50.0
+
+#: The paper's quoted tracker size at ultra-low thresholds.
+MITHRIL_ENTRIES_PER_BANK = 5300
+
+
+def mithril_cadence_acts(t_rh: int) -> int:
+    """Activations between RFMs for Mithril to defend ``t_rh``."""
+    if t_rh < 1:
+        raise ConfigError(f"t_rh must be >= 1, got {t_rh}")
+    return max(1, int(t_rh / MITHRIL_TRH_TO_INTERVAL_RATIO))
+
+
+def mithril_entries(t_rh: int, acts_per_trefw: int = 550_000) -> int:
+    """Misra-Gries entries needed for ``t_rh`` over one refresh window."""
+    return MisraGries.entries_for_threshold(acts_per_trefw, t_rh, safety=4.0)
+
+
+class MithrilBank(BankDefense):
+    """Mithril defense state for one bank: Misra-Gries + cadence RFMs."""
+
+    def __init__(
+        self,
+        t_rh: int,
+        num_rows: int,
+        entries: int | None = None,
+        blast_radius: int = 2,
+    ) -> None:
+        super().__init__()
+        self.t_rh = t_rh
+        self.tracker = MisraGries(
+            entries if entries is not None else min(
+                MITHRIL_ENTRIES_PER_BANK, mithril_entries(t_rh)
+            )
+        )
+        self.counters = PRACCounterBank(num_rows, counter_bits=None)
+        self.blast_radius = blast_radius
+        self._cadence = mithril_cadence_acts(t_rh)
+
+    @property
+    def rfm_cadence_acts(self) -> int:
+        return self._cadence
+
+    def on_activation(self, row: int) -> bool:
+        self.stats.activations += 1
+        self.counters.activate(row)
+        self.tracker.observe(row)
+        return False  # Mithril never uses the Alert pin
+
+    def wants_alert(self) -> bool:
+        return False
+
+    def on_rfm(self, is_alerting_bank: bool) -> list[int]:
+        top = self.tracker.pop_top()
+        if top is None:
+            return []
+        row, _estimate = top
+        apply_mitigation(
+            self.counters,
+            row,
+            self.blast_radius,
+            self.stats,
+            MitigationReason.CADENCE,
+        )
+        return [row]

@@ -1,0 +1,92 @@
+"""PrIDE (Jaleel et al., ISCA'24) — probabilistic in-DRAM tracker baseline.
+
+PrIDE samples activations into a tiny FIFO (4 entries per bank) with a
+fixed probability and mitigates a sampled row on every controller-issued
+RFM.  Its security scales with the RFM cadence: roughly T_RH ~ 1700 with
+one RFM per tREFI and proportionally lower thresholds with proportionally
+more frequent RFMs (Section II-C2 of the QPRAC paper) — which is exactly
+why it becomes impractical below T_RH ~ 250: the required cadence
+approaches one RFM every ~10 activations, costing ~30% of activation
+bandwidth.
+
+The QPRAC paper's Figure 20 comparison drives PrIDE at the cadence its
+target T_RH requires; :func:`pride_cadence_acts` encodes that scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.defense import (
+    BankDefense,
+    MitigationReason,
+    apply_mitigation,
+)
+from repro.core.fifo_queue import FifoServiceQueue
+from repro.core.prac_counters import PRACCounterBank
+from repro.errors import ConfigError
+
+#: RFM interval = T_RH / this ratio.  PrIDE tolerates T_RH ~1700 with one
+#: RFM per tREFI (~67 activations): 1700 / 67 ~ 25.
+PRIDE_TRH_TO_INTERVAL_RATIO = 25.0
+
+#: PrIDE's per-activation sampling probability into the FIFO.
+PRIDE_SAMPLE_PROBABILITY = 1.0 / 8.0
+
+
+def pride_cadence_acts(t_rh: int) -> int:
+    """Activations between RFMs for PrIDE to defend ``t_rh``."""
+    if t_rh < 1:
+        raise ConfigError(f"t_rh must be >= 1, got {t_rh}")
+    return max(1, int(t_rh / PRIDE_TRH_TO_INTERVAL_RATIO))
+
+
+class PrIDEBank(BankDefense):
+    """PrIDE defense state for one bank: sampling FIFO + cadence RFMs."""
+
+    def __init__(
+        self,
+        t_rh: int,
+        num_rows: int,
+        queue_size: int = 4,
+        blast_radius: int = 2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.t_rh = t_rh
+        self.queue = FifoServiceQueue(queue_size)
+        self.counters = PRACCounterBank(num_rows, counter_bits=None)
+        self.blast_radius = blast_radius
+        self._cadence = pride_cadence_acts(t_rh)
+        self._rng = np.random.default_rng(seed + 0x9E3779B9)
+
+    @property
+    def rfm_cadence_acts(self) -> int:
+        return self._cadence
+
+    def on_activation(self, row: int) -> bool:
+        self.stats.activations += 1
+        self.counters.activate(row)
+        if self._rng.random() < PRIDE_SAMPLE_PROBABILITY:
+            if self.queue.is_full:
+                # PrIDE overwrites the oldest sample rather than dropping
+                # the new one (keeps samples fresh).
+                self.queue.pop_front()
+            self.queue.try_enqueue(row)
+        return False  # PrIDE never uses the Alert pin
+
+    def wants_alert(self) -> bool:
+        return False
+
+    def on_rfm(self, is_alerting_bank: bool) -> list[int]:
+        row = self.queue.pop_front_or_none()
+        if row is None:
+            return []
+        apply_mitigation(
+            self.counters,
+            row,
+            self.blast_radius,
+            self.stats,
+            MitigationReason.CADENCE,
+        )
+        return [row]

@@ -1,0 +1,81 @@
+"""Security analyses and attack simulators (paper Sections II-E, IV, App. A).
+
+* :mod:`repro.security.analytical` — Equations (1)-(3), max-R1 search and
+  T_RH bounds for ideal PRAC / QPRAC (Figures 6-8).
+* :mod:`repro.security.proactive` — the Section IV-C proactive-mitigation
+  extension and the energy-aware variant (Figures 11-13).
+* :mod:`repro.security.panopticon_attacks` — Toggle+Forget, Fill+Escape
+  and the Appendix-A blocking-t-bit attacks (Figures 2, 3, 23).
+* :mod:`repro.security.wave_sim` — empirical wave/feinting attack against
+  real QPRAC state machines, validating PSQ ≡ ideal (Section IV-B).
+"""
+
+from repro.security.analytical import (
+    NBO_SWEEP,
+    PRAC_LEVELS,
+    AttackModelConfig,
+    OnlineResult,
+    attack_time_ns,
+    figure6_series,
+    figure7_series,
+    figure8_series,
+    max_r1,
+    n_online,
+    secure_trh,
+    setup_phase,
+    simulate_online_phase,
+)
+from repro.security.panopticon_attacks import (
+    AttackBudget,
+    blocking_tbit_max_acts,
+    figure2_series,
+    figure3_series,
+    figure23_series,
+    fill_escape_max_acts,
+    toggle_forget_max_acts,
+    toggle_forget_simulate,
+)
+from repro.security.proactive import (
+    ProactiveComparison,
+    compare,
+    figure11_series,
+    figure12_series,
+    figure13_series,
+)
+from repro.security.wave_sim import (
+    WaveAttackResult,
+    compare_psq_vs_ideal,
+    run_wave_attack,
+)
+
+__all__ = [
+    "NBO_SWEEP",
+    "PRAC_LEVELS",
+    "AttackModelConfig",
+    "OnlineResult",
+    "attack_time_ns",
+    "figure6_series",
+    "figure7_series",
+    "figure8_series",
+    "max_r1",
+    "n_online",
+    "secure_trh",
+    "setup_phase",
+    "simulate_online_phase",
+    "AttackBudget",
+    "blocking_tbit_max_acts",
+    "figure2_series",
+    "figure3_series",
+    "figure23_series",
+    "fill_escape_max_acts",
+    "toggle_forget_max_acts",
+    "toggle_forget_simulate",
+    "ProactiveComparison",
+    "compare",
+    "figure11_series",
+    "figure12_series",
+    "figure13_series",
+    "WaveAttackResult",
+    "compare_psq_vs_ideal",
+    "run_wave_attack",
+]

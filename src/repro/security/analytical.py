@@ -1,0 +1,313 @@
+"""Analytical security model of PRAC/QPRAC (paper Section IV).
+
+This module reproduces the paper's worst-case analysis of the wave (or
+"feinting") attack against a PRAC-protected DRAM bank:
+
+* **Equation (1)**  ``T_RH > N_BO + N_online`` — the threshold PRAC defends.
+* **Equation (2)**  ``N_online = N_R + ABO_ACT + ABO_Delay + BR`` — the
+  activations the last surviving row can accumulate in the online phase.
+* **Equation (3)**  ``R_N = R_{N-1} - floor(N_mit * (R_{N-1} - BR) /
+  (ABO_ACT + ABO_Delay))`` — the per-round shrinkage of the attack pool.
+
+The attack has a *Setup* phase (activate ``R_1`` rows to ``N_BO - 1`` each,
+staying just below the Alert threshold) and an *Online* phase (uniformly
+activate the surviving pool each round; mitigated rows drop out; the last
+survivor is hammered).  Both phases must complete within one refresh window
+(tREFW = 32 ms), which bounds ``R_1`` — reproduced by :func:`max_r1`.
+
+Time accounting
+---------------
+Activations are charged at tRC each; Alerts are charged the RFM service
+time (``N_mit * tRFM``); the 180 ns Alert window itself is *not* charged
+because the ABO_ACT activations issued inside it are already charged at
+tRC (3 x 52 ns ≈ 156 ns fills the window).  The refresh overhead removes
+``tRFC / tREFI`` of the wall clock, matching the paper's ~550K activations
+per bank per tREFW.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.params import DDR5Timing, PRACParams, TREFW_NS
+
+
+@dataclass(frozen=True)
+class AttackModelConfig:
+    """Configuration of the analytical attack model.
+
+    ``rounding`` selects how partial Alert cycles at the end of a round are
+    treated: ``"ceil"`` assumes the attacker structures each round to end on
+    an Alert (the paper's empirical attack behaves this way and matches its
+    analytical results within 1%); ``"floor"`` is the literal Equation (3).
+    """
+
+    prac: PRACParams = field(default_factory=PRACParams)
+    timing: DDR5Timing = field(default_factory=DDR5Timing)
+    rounding: str = "ceil"
+    max_pool: int = 128 * 1024
+
+    def __post_init__(self) -> None:
+        if self.rounding not in ("ceil", "floor"):
+            raise ConfigError(f"rounding must be ceil|floor, got {self.rounding}")
+
+    @property
+    def act_slot_ns(self) -> float:
+        """Time per activation (same-bank ACTs are tRC-limited)."""
+        return self.timing.t_rc
+
+    @property
+    def alert_service_ns(self) -> float:
+        """Time consumed by servicing one Alert (N_mit back-to-back RFMs)."""
+        return self.prac.n_mit * self.timing.t_rfm
+
+    @property
+    def budget_ns(self) -> float:
+        """Attack time available inside one tREFW after refresh overhead."""
+        return TREFW_NS * (1.0 - self.timing.t_rfc / self.timing.t_refi)
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Outcome of simulating the online phase for a given starting pool."""
+
+    rounds: int
+    total_acts: int
+    total_alerts: int
+    proactive_mitigations: int
+    time_ns: float
+    n_online: int
+
+
+def simulate_online_phase(
+    r1: int,
+    cfg: AttackModelConfig,
+    proactive: bool = False,
+) -> OnlineResult:
+    """Run the round recursion of Equation (3) from a pool of ``r1`` rows.
+
+    Each round activates every surviving pool row once.  Alerts fire every
+    ``ABO_ACT + ABO_Delay`` activations and mitigate ``N_mit`` rows each;
+    the blast radius of the round's final mitigation contributes ``BR``
+    activations "for free", so only ``R - BR`` rows must be activated.
+
+    With ``proactive=True``, the Section IV-C extension additionally drops
+    ``floor(round_time / tREFI)`` rows per round (one proactive mitigation
+    per REF).
+    """
+    if r1 < 0:
+        raise ConfigError(f"r1 must be >= 0, got {r1}")
+    prac = cfg.prac
+    cycle = prac.acts_per_alert_cycle
+    br = prac.blast_radius
+    rounds = 0
+    total_acts = 0
+    total_alerts = 0
+    total_proactive = 0
+    time_ns = 0.0
+    pool = r1
+    while pool > 1:
+        acts = max(pool - br, 1)
+        if cfg.rounding == "ceil":
+            alerts = max(1, math.ceil(acts / cycle))
+        else:
+            alerts = acts // cycle
+            if alerts == 0:
+                # Literal Equation (3) cannot shrink a tiny pool; the
+                # attacker moves to focused hammering at this point.
+                break
+        mitigated = prac.n_mit * alerts
+        round_time = acts * cfg.act_slot_ns + alerts * cfg.alert_service_ns
+        extra = 0
+        if proactive:
+            extra = int(round_time // cfg.timing.t_refi)
+        rounds += 1
+        total_acts += acts
+        total_alerts += alerts
+        total_proactive += extra
+        time_ns += round_time
+        pool = pool - mitigated - extra
+    assert prac.abo_delay is not None
+    n_online = rounds + prac.abo_act + prac.abo_delay + br
+    return OnlineResult(
+        rounds=rounds,
+        total_acts=total_acts,
+        total_alerts=total_alerts,
+        proactive_mitigations=total_proactive,
+        time_ns=time_ns,
+        n_online=n_online,
+    )
+
+
+def n_online(r1: int, cfg: AttackModelConfig, proactive: bool = False) -> int:
+    """Equation (2): maximum online-phase activations to the last row."""
+    return simulate_online_phase(r1, cfg, proactive=proactive).n_online
+
+
+def setup_phase(r1: int, cfg: AttackModelConfig) -> tuple[int, float]:
+    """Setup-phase cost: (activations, time_ns) to raise ``r1`` rows to
+    ``N_BO - 1`` activations each."""
+    acts = r1 * max(0, cfg.prac.n_bo - 1)
+    return acts, acts * cfg.act_slot_ns
+
+
+def attack_time_ns(r1: int, cfg: AttackModelConfig, proactive: bool = False) -> float:
+    """Total wall-clock of Setup + Online phases for pool size ``r1``."""
+    _setup_acts, setup_ns = setup_phase(r1, cfg)
+    online = simulate_online_phase(
+        _effective_pool(r1, cfg) if proactive else r1, cfg, proactive=proactive
+    )
+    return setup_ns + online.time_ns
+
+
+def _effective_pool(r1: int, cfg: AttackModelConfig, ea: bool = False) -> int:
+    """Pool surviving the Setup phase under proactive mitigation.
+
+    Section IV-C1: the Setup phase issues ``A = r1 * (N_BO - 1)``
+    activations; one proactive mitigation lands per tREFI-worth of
+    activations (the paper's ``M = A / 67``), each removing one pool row.
+    The energy-aware variant only mitigates rows at or above
+    ``N_PRO = N_BO / K``, so only the tail of the Setup phase (counts in
+    ``[N_PRO, N_BO)``) is exposed.
+    """
+    acts_per_trefi = cfg.timing.acts_per_trefi
+    if ea:
+        exposed_per_row = max(0, (cfg.prac.n_bo - 1) - (cfg.prac.n_pro - 1))
+    else:
+        exposed_per_row = max(0, cfg.prac.n_bo - 1)
+    mitigations = (r1 * exposed_per_row) // acts_per_trefi
+    return max(0, r1 - mitigations)
+
+
+def max_r1(
+    cfg: AttackModelConfig,
+    proactive: bool = False,
+    ea: bool = False,
+) -> int:
+    """Largest feasible starting pool within one tREFW (paper Figure 7/11).
+
+    Returns the *effective* pool available to the online phase: with
+    proactive mitigation the Setup phase loses rows, and for
+    ``N_BO - 1 >= 67`` it loses them faster than it builds them — the
+    attack is completely defeated (Figure 11, N_BO in {128, 256}).
+    """
+    lo, hi = 0, cfg.max_pool
+    budget = cfg.budget_ns
+
+    def feasible(r1: int) -> bool:
+        _acts, setup_ns = setup_phase(r1, cfg)
+        if setup_ns > budget:
+            return False
+        pool = _effective_pool(r1, cfg, ea=ea) if (proactive or ea) else r1
+        online = simulate_online_phase(pool, cfg, proactive=proactive or ea)
+        return setup_ns + online.time_ns <= budget
+
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid - 1
+    if proactive or ea:
+        return _effective_pool(lo, cfg, ea=ea)
+    return lo
+
+
+def secure_trh(
+    cfg: AttackModelConfig,
+    proactive: bool = False,
+    ea: bool = False,
+) -> int:
+    """Equation (1): the minimum T_RH the configuration defends.
+
+    The defense is secure for any threshold strictly greater than
+    ``N_BO + N_online``; following the paper's figures we report
+    ``N_BO + N_online`` itself as "the T_RH at which the defense is secure".
+    """
+    pool = max_r1(cfg, proactive=proactive, ea=ea)
+    if pool <= 1:
+        # The attack pool is destroyed before the online phase: only the
+        # trivial single-row hammer remains.
+        assert cfg.prac.abo_delay is not None
+        tail = cfg.prac.abo_act + cfg.prac.abo_delay + cfg.prac.blast_radius
+        return cfg.prac.n_bo + tail
+    result = simulate_online_phase(pool, cfg, proactive=proactive or ea)
+    return cfg.prac.n_bo + result.n_online
+
+
+# ----------------------------------------------------------------------
+# Figure series helpers (consumed by benchmarks/ and examples/)
+# ----------------------------------------------------------------------
+
+#: The Back-Off thresholds swept in Figures 7, 8, 11 and 13.
+NBO_SWEEP: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: PRAC levels (RFMs per Alert) the paper evaluates.
+PRAC_LEVELS: tuple[int, ...] = (1, 2, 4)
+
+
+def _cfg_for(n_bo: int, n_mit: int, base: AttackModelConfig | None = None) -> AttackModelConfig:
+    base = base or AttackModelConfig()
+    return AttackModelConfig(
+        prac=base.prac.with_overrides(n_bo=n_bo, n_mit=n_mit, abo_delay=None),
+        timing=base.timing,
+        rounding=base.rounding,
+        max_pool=base.max_pool,
+    )
+
+
+def figure6_series(
+    r1_values: list[int] | None = None,
+    proactive: bool = False,
+) -> dict[int, list[tuple[int, int]]]:
+    """N_online versus starting pool size R1 (Figures 6 and 12).
+
+    Returns ``{n_mit: [(r1, n_online), ...]}``.
+    """
+    if r1_values is None:
+        r1_values = [4] + [20_000 * i for i in range(1, 7)] + [128 * 1024]
+    series: dict[int, list[tuple[int, int]]] = {}
+    for n_mit in PRAC_LEVELS:
+        cfg = _cfg_for(n_bo=1, n_mit=n_mit)
+        series[n_mit] = [
+            (r1, n_online(r1, cfg, proactive=proactive)) for r1 in r1_values
+        ]
+    return series
+
+
+def figure7_series(
+    proactive: bool = False,
+    ea: bool = False,
+    nbo_values: tuple[int, ...] = NBO_SWEEP,
+) -> dict[int, list[tuple[int, int]]]:
+    """Maximum R1 versus N_BO (Figures 7 and 11).
+
+    Returns ``{n_mit: [(n_bo, max_r1), ...]}``.
+    """
+    series: dict[int, list[tuple[int, int]]] = {}
+    for n_mit in PRAC_LEVELS:
+        series[n_mit] = [
+            (n_bo, max_r1(_cfg_for(n_bo, n_mit), proactive=proactive, ea=ea))
+            for n_bo in nbo_values
+        ]
+    return series
+
+
+def figure8_series(
+    proactive: bool = False,
+    ea: bool = False,
+    nbo_values: tuple[int, ...] = NBO_SWEEP,
+) -> dict[int, list[tuple[int, int]]]:
+    """Secure T_RH versus N_BO (Figures 8 and 13).
+
+    Returns ``{n_mit: [(n_bo, t_rh), ...]}``.
+    """
+    series: dict[int, list[tuple[int, int]]] = {}
+    for n_mit in PRAC_LEVELS:
+        series[n_mit] = [
+            (n_bo, secure_trh(_cfg_for(n_bo, n_mit), proactive=proactive, ea=ea))
+            for n_bo in nbo_values
+        ]
+    return series

@@ -1,0 +1,234 @@
+"""Attack simulators against Panopticon-style PRAC implementations.
+
+Three attacks from the paper, each exploiting the combination of bounded
+FIFO service queues and PRAC's *non-blocking* Alert window:
+
+* **Toggle+Forget** (Section II-E1, Figure 2): exploits t-bit toggling.
+  While the queue is full, the target row's toggle is consumed by the
+  ABO_ACT activations and the row will not be reconsidered for another
+  ``2^t`` activations — it escapes mitigation for the whole tREFW.
+* **Fill+Escape** (Section II-E1, Figure 3): works even when the full
+  counter value is compared each activation.  The attacker keeps the FIFO
+  full and hammers the target *only* with ABO_ACT activations, gaining 3
+  unmitigated activations per queue-refill cycle.
+* **Blocking-t-bit attack** (Appendix A, Figure 23): if the hardening
+  "ABO_ACT activations may not toggle the t-bit" is adopted, the target
+  row can *never* enter the queue via window activations, so the attacker
+  rotates Alerts across all banks of a rank and pours every window's
+  ABO_ACT activations into one target row.
+
+Each function has two layers: a closed-form iteration-budget model (fast,
+used by Figures 2/3/23) and, for Toggle+Forget, an event-faithful
+simulation against :class:`repro.core.panopticon.PanopticonBank` used by
+tests to confirm the closed-form model is honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.panopticon import PanopticonBank
+from repro.errors import ConfigError
+from repro.params import DDR5Timing, TREFW_NS
+
+
+@dataclass(frozen=True)
+class AttackBudget:
+    """Activation-slot budget of one refresh window for attack arithmetic."""
+
+    timing: DDR5Timing = field(default_factory=DDR5Timing)
+    n_mit: int = 1
+    abo_window_ns: float = 180.0
+
+    @property
+    def total_slots(self) -> int:
+        """Same-bank activation slots per tREFW (the paper's ~550K)."""
+        return self.timing.acts_per_trefw
+
+    @property
+    def alert_overhead_slots(self) -> float:
+        """Activation slots consumed by servicing one Alert."""
+        return (self.n_mit * self.timing.t_rfm) / self.timing.t_rc
+
+
+def toggle_forget_max_acts(
+    queue_size: int,
+    t_bit: int,
+    budget: AttackBudget | None = None,
+) -> int:
+    """Maximum unmitigated activations to the target row (Figure 2).
+
+    Attack iteration (queue size Q, threshold M = 2^t): the Q+1 pool rows
+    each advance M activations; the first Q rows toggle into the queue,
+    fill it, and force an Alert; the target's 2 window activations carry it
+    across its own toggle unseen.  Cost per iteration ≈ (Q+1)·M activation
+    slots plus one Alert service; target gain per iteration = M.
+    """
+    if queue_size < 1:
+        raise ConfigError(f"queue_size must be >= 1, got {queue_size}")
+    if t_bit < 1:
+        raise ConfigError(f"t_bit must be >= 1, got {t_bit}")
+    budget = budget or AttackBudget()
+    threshold = 1 << t_bit
+    iteration_cost = (queue_size + 1) * threshold + budget.alert_overhead_slots
+    iterations = int(budget.total_slots / iteration_cost)
+    return iterations * threshold
+
+
+def toggle_forget_simulate(
+    queue_size: int,
+    t_bit: int,
+    budget: AttackBudget | None = None,
+    max_slots: int | None = None,
+) -> int:
+    """Event-faithful Toggle+Forget against a real :class:`PanopticonBank`.
+
+    Drives the actual queue/counter state machine slot by slot and returns
+    the target row's unmitigated activation count.  Slower than the
+    closed-form model; tests use reduced ``max_slots`` budgets and check
+    agreement with :func:`toggle_forget_max_acts` scaling.
+    """
+    budget = budget or AttackBudget()
+    slots = max_slots if max_slots is not None else budget.total_slots
+    threshold = 1 << t_bit
+    # Pool rows spaced far apart so blast-radius refreshes never interact.
+    spacing = 8
+    pool = [i * spacing for i in range(queue_size + 1)]
+    target = pool[-1]
+    bank = PanopticonBank(
+        t_bit=t_bit, queue_size=queue_size, num_rows=spacing * (queue_size + 2)
+    )
+    target_acts = 0
+    used = 0.0
+    overhead = budget.alert_overhead_slots
+
+    def act(row: int, in_window: bool = False) -> None:
+        nonlocal used, target_acts
+        bank.on_activation(row, in_abo_window=in_window)
+        used += 1
+        if row == target:
+            target_acts += 1
+
+    while used < slots:
+        # Phase 1: bring every pool row M-1 activations forward.
+        for _ in range(threshold - 1):
+            for row in pool:
+                act(row)
+        # Phase 2: one more activation to the first Q rows fills the queue.
+        for row in pool[:-1]:
+            act(row)
+        if not bank.wants_alert():
+            break  # queue failed to fill; attack cannot proceed
+        # Phase 3: the non-blocking window — hammer the target twice so its
+        # toggle is consumed while the queue is full.
+        act(target, in_window=True)
+        act(target, in_window=True)
+        # Phase 4: the Alert is serviced; N_mit entries drain.
+        for _ in range(budget.n_mit):
+            bank.on_rfm(is_alerting_bank=True)
+        used += overhead
+        # Phase 5: re-align the first Q rows with the target's count.
+        for row in pool[:-1]:
+            act(row)
+            act(row)
+    # The target was never mitigated: every one of its activations counts.
+    return target_acts
+
+
+def fill_escape_max_acts(
+    mitigation_threshold: int,
+    queue_size: int,
+    budget: AttackBudget | None = None,
+    drains_per_cycle: int = 5,
+) -> int:
+    """Maximum unmitigated target activations via Fill+Escape (Figure 3).
+
+    Even with full counter comparison, the FIFO bypasses when full.  Setup
+    puts the target at M-1 activations (all unmitigated); afterwards each
+    refill cycle costs ``drains_per_cycle * M`` activations (the Alert's
+    RFMs plus the per-tREFI REF drain free that many queue slots, paper:
+    4 + 1) and buys the attacker ``ABO_ACT = 3`` window activations on the
+    target.
+    """
+    if mitigation_threshold < 2:
+        raise ConfigError("mitigation_threshold must be >= 2")
+    budget = budget or AttackBudget()
+    m = mitigation_threshold
+    setup_slots = (queue_size + 1) * (m - 1) + queue_size
+    remaining = budget.total_slots - setup_slots
+    if remaining <= 0:
+        return m - 1
+    cycle_cost = drains_per_cycle * m + budget.alert_overhead_slots
+    cycles = int(remaining / cycle_cost)
+    return (m - 1) + 3 * cycles
+
+
+def blocking_tbit_max_acts(
+    mitigation_threshold: int,
+    queue_size: int,
+    banks: int = 32,
+    budget: AttackBudget | None = None,
+    t_rrd_ns: float = 8.0,
+) -> int:
+    """Appendix-A attack when ABO_ACT may not toggle the t-bit (Figure 23).
+
+    The target row then *never* enters the service queue, so every Alert's
+    ABO_ACT window (3 activations) can hammer it.  Alerts are generated
+    round-robin across the rank's banks; queue refills in different banks
+    overlap at the rank's ACT-to-ACT rate (tRRD), while each Alert service
+    (window + RFMs) serialises globally.
+    """
+    if banks < 1:
+        raise ConfigError(f"banks must be >= 1, got {banks}")
+    budget = budget or AttackBudget()
+    m = mitigation_threshold
+    # Refills of different banks overlap: the rank sustains one ACT per
+    # tRRD as long as enough banks are in flight (per-bank ACTs are
+    # tRC-limited, so banks < tRC/tRRD caps the achievable rate).
+    per_act_ns = max(t_rrd_ns, budget.timing.t_rc / banks)
+    refill_ns = queue_size * m * per_act_ns
+    alert_ns = budget.abo_window_ns + budget.n_mit * budget.timing.t_rfm
+    period_ns = refill_ns + alert_ns
+    wall_ns = TREFW_NS * (
+        1.0 - budget.timing.t_rfc / budget.timing.t_refi
+    )
+    alerts = int(wall_ns / period_ns)
+    # The target bank can absorb at most its own activation budget.
+    return min(3 * alerts, budget.total_slots)
+
+
+# ----------------------------------------------------------------------
+# Figure series helpers
+# ----------------------------------------------------------------------
+
+def figure2_series(
+    queue_sizes: tuple[int, ...] = tuple(range(4, 17)),
+    t_bits: tuple[int, ...] = (6, 8, 10),
+) -> dict[int, list[tuple[int, int]]]:
+    """Toggle+Forget sweep: ``{t_bit: [(queue_size, max_acts), ...]}``."""
+    return {
+        t: [(q, toggle_forget_max_acts(q, t)) for q in queue_sizes]
+        for t in t_bits
+    }
+
+
+def figure3_series(
+    thresholds: tuple[int, ...] = (64, 128, 256, 512, 1024, 2048, 4096),
+    queue_sizes: tuple[int, ...] = (4, 8, 16, 32, 64),
+) -> dict[int, list[tuple[int, int]]]:
+    """Fill+Escape sweep: ``{queue_size: [(threshold, max_acts), ...]}``."""
+    return {
+        q: [(m, fill_escape_max_acts(m, q)) for m in thresholds]
+        for q in queue_sizes
+    }
+
+
+def figure23_series(
+    thresholds: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096),
+    queue_sizes: tuple[int, ...] = (4, 8, 16, 32, 64),
+) -> dict[int, list[tuple[int, int]]]:
+    """Blocking-t-bit sweep: ``{queue_size: [(threshold, max_acts), ...]}``."""
+    return {
+        q: [(m, blocking_tbit_max_acts(m, q)) for m in thresholds]
+        for q in queue_sizes
+    }

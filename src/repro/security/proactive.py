@@ -1,0 +1,120 @@
+"""Proactive-mitigation security analysis (paper Section IV-C).
+
+The underlying model lives in :mod:`repro.security.analytical` (the
+``proactive=``/``ea=`` arguments); this module names the paper's
+experiments and adds the energy-aware (EA) comparison:
+
+* **Setup phase impact** (Figure 11): every tREFI-worth of setup
+  activations costs the attacker one pool row, so
+  ``R1_effective = R1 - A / 67``.  For ``N_BO - 1 >= 67`` the pool
+  dies before any row reaches N_BO: the attack is defeated outright.
+* **Online phase impact** (Figure 12): each round additionally loses
+  ``floor(round_time / tREFI)`` rows.
+* **T_RH impact** (Figure 13): combining both, the minimum defended T_RH
+  drops by ~4 activations at N_BO=1 and ~5 at N_BO=32.
+
+The energy-aware variant only mitigates when the PSQ's top count is at
+least ``N_PRO = N_BO / K``; during the setup phase only the top
+``N_BO - N_PRO`` activations of each row are exposed to proactive
+mitigation, so EA security falls between QPRAC and QPRAC+Proactive
+(Section IV-C, last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.security.analytical import (
+    NBO_SWEEP,
+    PRAC_LEVELS,
+    AttackModelConfig,
+    _cfg_for,
+    figure6_series,
+    figure7_series,
+    figure8_series,
+    max_r1,
+    secure_trh,
+)
+
+
+@dataclass(frozen=True)
+class ProactiveComparison:
+    """Side-by-side security of one configuration with/without proactive."""
+
+    n_bo: int
+    n_mit: int
+    max_r1_base: int
+    max_r1_proactive: int
+    max_r1_ea: int
+    trh_base: int
+    trh_proactive: int
+    trh_ea: int
+
+    @property
+    def attack_defeated(self) -> bool:
+        """True when proactive mitigation empties the pool during setup."""
+        return self.max_r1_proactive <= 1
+
+
+def compare(n_bo: int, n_mit: int) -> ProactiveComparison:
+    """Compute the base / +Proactive / +Proactive-EA triple for one point."""
+    cfg = _cfg_for(n_bo, n_mit)
+    return ProactiveComparison(
+        n_bo=n_bo,
+        n_mit=n_mit,
+        max_r1_base=max_r1(cfg),
+        max_r1_proactive=max_r1(cfg, proactive=True),
+        max_r1_ea=max_r1(cfg, ea=True),
+        trh_base=secure_trh(cfg),
+        trh_proactive=secure_trh(cfg, proactive=True),
+        trh_ea=secure_trh(cfg, ea=True),
+    )
+
+
+def figure11_series(
+    nbo_values: tuple[int, ...] = NBO_SWEEP,
+) -> dict[int, dict[str, list[tuple[int, int]]]]:
+    """Maximum R1 with and without proactive mitigation (Figure 11).
+
+    Returns ``{n_mit: {"base": [(n_bo, r1)...], "proactive": [...]}}``.
+    """
+    out: dict[int, dict[str, list[tuple[int, int]]]] = {}
+    for n_mit in PRAC_LEVELS:
+        base = figure7_series(nbo_values=nbo_values)[n_mit]
+        pro = figure7_series(proactive=True, nbo_values=nbo_values)[n_mit]
+        out[n_mit] = {"base": base, "proactive": pro}
+    return out
+
+
+def figure12_series(
+    r1_values: list[int] | None = None,
+) -> dict[int, dict[str, list[tuple[int, int]]]]:
+    """N_online with and without proactive mitigation (Figure 12)."""
+    out: dict[int, dict[str, list[tuple[int, int]]]] = {}
+    base_all = figure6_series(r1_values)
+    pro_all = figure6_series(r1_values, proactive=True)
+    for n_mit in PRAC_LEVELS:
+        out[n_mit] = {"base": base_all[n_mit], "proactive": pro_all[n_mit]}
+    return out
+
+
+def figure13_series(
+    nbo_values: tuple[int, ...] = NBO_SWEEP,
+) -> dict[int, dict[str, list[tuple[int, int]]]]:
+    """Defended T_RH with and without proactive mitigation (Figure 13)."""
+    out: dict[int, dict[str, list[tuple[int, int]]]] = {}
+    for n_mit in PRAC_LEVELS:
+        base = figure8_series(nbo_values=nbo_values)[n_mit]
+        pro = figure8_series(proactive=True, nbo_values=nbo_values)[n_mit]
+        out[n_mit] = {"base": base, "proactive": pro}
+    return out
+
+
+__all__ = [
+    "AttackModelConfig",
+    "ProactiveComparison",
+    "compare",
+    "figure11_series",
+    "figure12_series",
+    "figure13_series",
+]

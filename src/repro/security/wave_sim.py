@@ -1,0 +1,212 @@
+"""Empirical wave / feinting attack simulation against QPRAC.
+
+Section IV-B of the paper argues that QPRAC's size-limited PSQ provides
+the *same* security as an ideal PRAC that always mitigates the globally
+most-activated rows, because under the wave attack every pool row carries
+the same (maximal) count and evicted rows are re-inserted on their next
+activation.  The paper validates this by simulation ("maximum activation
+counts for QPRAC are identical to those of the ideal PRAC"); this module
+is that simulation.
+
+The attack is executed at activation-slot granularity against a real
+:class:`repro.core.qprac.QPRACBank` coupled to a real
+:class:`repro.core.abo.AboProtocol`:
+
+* **Setup**: ``r1`` pool rows are activated round-robin to ``N_BO - 1``.
+* **Online**: the pool is activated uniformly each round; Alerts fire as
+  the protocol permits and each RFM mitigates the defense's chosen row,
+  which drops out of the pool.
+* **Final**: when one row remains it is hammered until mitigated.
+
+The headline output is the maximum activation count any row accumulated
+before its mitigation — empirically this equals ``N_BO + N_online`` from
+the analytical model within a few activations, and is *identical* between
+the PSQ and the ideal oracle (asserted by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.abo import AboProtocol, AboState
+from repro.core.qprac import QPRACBank
+from repro.errors import ConfigError
+from repro.params import DDR5Timing, MitigationVariant, PRACParams, TREFW_NS
+
+
+@dataclass
+class WaveAttackResult:
+    """Outcome of one wave-attack simulation."""
+
+    r1: int
+    rounds: int
+    alerts: int
+    mitigations: int
+    total_acts: int
+    time_ns: float
+    #: Highest activation count observed at the moment of any mitigation.
+    max_mitigated_count: int
+    #: Activation count of the last surviving row when finally mitigated.
+    final_row_count: int
+    truncated_by_trefw: bool
+    #: (row, count) at each mitigation, in order (trimmed to last 64).
+    mitigation_log: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def max_unmitigated_acts(self) -> int:
+        """The attack's figure of merit: worst count reached by any row."""
+        return max(self.max_mitigated_count, self.final_row_count)
+
+
+def run_wave_attack(
+    r1: int,
+    params: PRACParams | None = None,
+    timing: DDR5Timing | None = None,
+    ideal: bool = False,
+    enforce_trefw: bool = True,
+) -> WaveAttackResult:
+    """Simulate the wave attack against QPRAC (``ideal=False``) or an
+    oracle that mitigates the global top row per RFM (``ideal=True``).
+
+    Pool rows are spaced ``2 * blast_radius + 2`` apart so mitigative
+    victim refreshes never hit other pool rows, isolating the queue-policy
+    comparison exactly as the analytical model does.
+    """
+    if r1 < 2:
+        raise ConfigError(f"wave attack needs r1 >= 2, got {r1}")
+    params = params or PRACParams(n_bo=1)
+    timing = timing or DDR5Timing()
+    spacing = 2 * params.blast_radius + 2
+    num_rows = spacing * (r1 + 2)
+    variant = (
+        MitigationVariant.QPRAC_IDEAL if ideal else MitigationVariant.QPRAC
+    )
+    bank = QPRACBank(
+        params, num_rows=num_rows, variant=variant, unbounded_counters=True
+    )
+    abo = AboProtocol(params)
+    pool: list[int] = [spacing * (i + 1) for i in range(r1)]
+    in_pool = set(pool)
+    budget_ns = TREFW_NS * (1.0 - timing.t_rfc / timing.t_refi)
+
+    state = _SimState()
+
+    def service_alert() -> None:
+        n_rfms = abo.service_rfms()
+        for _ in range(n_rfms):
+            count_before = _peek_count(bank, ideal)
+            mitigated = bank.on_rfm(is_alerting_bank=True)
+            state.time_ns += timing.t_rfm
+            if not mitigated:
+                continue
+            row = mitigated[0]
+            state.mitigations += 1
+            state.max_mitigated_count = max(
+                state.max_mitigated_count, count_before
+            )
+            if len(state.mitigation_log) < 64:
+                state.mitigation_log.append((row, count_before))
+            if row in in_pool:
+                in_pool.discard(row)
+
+    def act(row: int) -> None:
+        bank.on_activation(row)
+        state.total_acts += 1
+        state.time_ns += timing.t_rc
+        if abo.state in (AboState.ALERTED, AboState.DELAY):
+            abo.on_activation()
+        if bank.wants_alert() and abo.can_raise_alert():
+            abo.raise_alert()
+            state.alerts += 1
+        if abo.state is AboState.ALERTED and not abo.can_issue_activation():
+            service_alert()
+
+    # ------------------------------------------------------------------
+    # Setup phase: raise every pool row to N_BO - 1 activations.
+    # ------------------------------------------------------------------
+    for _ in range(max(0, params.n_bo - 1)):
+        for row in pool:
+            act(row)
+
+    # ------------------------------------------------------------------
+    # Online phase: uniform rounds over the surviving pool.
+    # ------------------------------------------------------------------
+    truncated = False
+    while len(in_pool) > 1:
+        if enforce_trefw and state.time_ns > budget_ns:
+            truncated = True
+            break
+        state.rounds += 1
+        for row in [r for r in pool if r in in_pool]:
+            act(row)
+            if len(in_pool) <= 1:
+                break
+
+    # ------------------------------------------------------------------
+    # Final phase: hammer the last survivor until it gets mitigated.
+    # ------------------------------------------------------------------
+    final_count = 0
+    if in_pool and not truncated:
+        last = next(iter(in_pool))
+        guard = 0
+        while last in in_pool:
+            act(last)
+            guard += 1
+            if enforce_trefw and state.time_ns > budget_ns:
+                truncated = True
+                break
+            if guard > 16 * (params.n_bo + 64):
+                raise ConfigError(
+                    "wave attack final phase failed to terminate; "
+                    "the defense never mitigated the hammered row"
+                )
+        final_count = max(
+            (c for r, c in state.mitigation_log if r == last),
+            default=bank.counters.get(last),
+        )
+
+    return WaveAttackResult(
+        r1=r1,
+        rounds=state.rounds,
+        alerts=state.alerts,
+        mitigations=state.mitigations,
+        total_acts=state.total_acts,
+        time_ns=state.time_ns,
+        max_mitigated_count=state.max_mitigated_count,
+        final_row_count=final_count,
+        truncated_by_trefw=truncated,
+        mitigation_log=state.mitigation_log,
+    )
+
+
+def compare_psq_vs_ideal(
+    r1: int,
+    params: PRACParams | None = None,
+    timing: DDR5Timing | None = None,
+) -> tuple[WaveAttackResult, WaveAttackResult]:
+    """Run the wave attack against both designs (Section IV-B validation)."""
+    psq = run_wave_attack(r1, params, timing, ideal=False)
+    oracle = run_wave_attack(r1, params, timing, ideal=True)
+    return psq, oracle
+
+
+class _SimState:
+    """Mutable counters shared by the nested closures of the simulator."""
+
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.alerts = 0
+        self.mitigations = 0
+        self.total_acts = 0
+        self.time_ns = 0.0
+        self.max_mitigated_count = 0
+        self.mitigation_log: list[tuple[int, int]] = []
+
+
+def _peek_count(bank: QPRACBank, ideal: bool) -> int:
+    """Activation count of the row the defense will mitigate next."""
+    if ideal:
+        top = bank.counters.top_n(1)
+        return top[0][1] if top else 0
+    entry = bank.psq.top()
+    return entry.count if entry is not None else 0

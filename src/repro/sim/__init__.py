@@ -1,0 +1,45 @@
+"""Simulation façade: event engine, defense factories, experiment runners."""
+
+from repro.sim.bandwidth import (
+    BandwidthResult,
+    analytical_bandwidth_reduction,
+    bandwidth_reduction,
+    run_bandwidth_attack,
+)
+from repro.engine import EventQueue
+from repro.sim.factory import (
+    baseline_factory,
+    factory_for_variant,
+    moat_factory,
+    panopticon_factory,
+    qprac_factory,
+)
+from repro.sim.runner import (
+    DEFAULT_ENTRIES,
+    EVALUATED_VARIANTS,
+    VariantComparison,
+    build_system,
+    run_variant_comparison,
+    simulate_baseline,
+    simulate_workload,
+)
+
+__all__ = [
+    "BandwidthResult",
+    "analytical_bandwidth_reduction",
+    "bandwidth_reduction",
+    "run_bandwidth_attack",
+    "EventQueue",
+    "baseline_factory",
+    "factory_for_variant",
+    "moat_factory",
+    "panopticon_factory",
+    "qprac_factory",
+    "DEFAULT_ENTRIES",
+    "EVALUATED_VARIANTS",
+    "VariantComparison",
+    "build_system",
+    "run_variant_comparison",
+    "simulate_baseline",
+    "simulate_workload",
+]

@@ -1,0 +1,78 @@
+"""Defense factories: build per-bank defense engines for a configuration.
+
+The :class:`~repro.controller.memctrl.MemorySystem` is defense-agnostic;
+these factories close over a :class:`~repro.params.SystemConfig` (or
+defense-specific parameters) and produce one engine per bank.
+"""
+
+from __future__ import annotations
+
+from repro.controller.memctrl import DefenseFactory
+from repro.core.defense import BankDefense
+from repro.core.moat import MOATBank
+from repro.core.null_defense import NullDefense
+from repro.core.panopticon import PanopticonBank
+from repro.core.qprac import QPRACBank
+from repro.params import MitigationVariant, SystemConfig
+
+
+def baseline_factory() -> DefenseFactory:
+    """The paper's non-secure baseline: PRAC timings, no ABO mitigation."""
+
+    def make(_bank_index: int, _config: SystemConfig) -> BankDefense:
+        return NullDefense()
+
+    return make
+
+
+def qprac_factory(variant: MitigationVariant | None = None) -> DefenseFactory:
+    """QPRAC banks in the requested policy variant.
+
+    When ``variant`` is None the config's own ``variant`` field is used,
+    so a single factory serves every sweep.
+    """
+
+    def make(_bank_index: int, config: SystemConfig) -> BankDefense:
+        chosen = variant if variant is not None else config.variant
+        return QPRACBank(
+            config.prac,
+            num_rows=config.org.rows_per_bank,
+            variant=chosen,
+        )
+
+    return make
+
+
+def moat_factory(
+    proactive_every_n_refs: int | None = None,
+) -> DefenseFactory:
+    """MOAT banks (Section VII-A comparison): ETH = N_BO / 2."""
+
+    def make(_bank_index: int, config: SystemConfig) -> BankDefense:
+        return MOATBank(
+            n_bo=config.prac.n_bo,
+            num_rows=config.org.rows_per_bank,
+            blast_radius=config.prac.blast_radius,
+            proactive_every_n_refs=proactive_every_n_refs,
+        )
+
+    return make
+
+
+def panopticon_factory(t_bit: int = 6, queue_size: int = 5) -> DefenseFactory:
+    """Panopticon banks (for end-to-end runs of the insecure baseline)."""
+
+    def make(_bank_index: int, config: SystemConfig) -> BankDefense:
+        return PanopticonBank(
+            t_bit=t_bit,
+            queue_size=queue_size,
+            num_rows=config.org.rows_per_bank,
+            blast_radius=config.prac.blast_radius,
+        )
+
+    return make
+
+
+def factory_for_variant(variant: MitigationVariant) -> DefenseFactory:
+    """Factory for one of the paper's evaluated QPRAC configurations."""
+    return qprac_factory(variant)

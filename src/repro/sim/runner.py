@@ -1,0 +1,167 @@
+"""Experiment façade: one-call simulation of workloads and variant sweeps.
+
+This is the API the benchmarks and examples use::
+
+    from repro.sim import simulate_workload, run_variant_comparison
+
+    result = simulate_workload("429.mcf", variant=MitigationVariant.QPRAC)
+    table = run_variant_comparison(["429.mcf", "470.lbm"], n_entries=20_000)
+
+Every run builds four homogeneous copies of the named workload (the
+paper's methodology) with per-core seeds, executes them to completion on
+the event-driven memory system, and reports a
+:class:`~repro.cpu.system.SystemResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.controller.memctrl import DefenseFactory
+from repro.cpu.system import MulticoreSystem, SystemResult
+from repro.params import MitigationVariant, SystemConfig, default_config
+from repro.sim.factory import baseline_factory, qprac_factory
+from repro.workloads.suites import workload as lookup_workload
+from repro.workloads.synthetic import WorkloadSpec, generate_trace
+
+#: Trace length (memory accesses per core) used when none is requested.
+#: Long enough to span dozens of tREFI intervals at memory-intensive rates.
+DEFAULT_ENTRIES = 20_000
+
+#: The five evaluated designs of Section V, in the paper's order.
+EVALUATED_VARIANTS: tuple[MitigationVariant, ...] = (
+    MitigationVariant.QPRAC_NOOP,
+    MitigationVariant.QPRAC,
+    MitigationVariant.QPRAC_PROACTIVE,
+    MitigationVariant.QPRAC_PROACTIVE_EA,
+    MitigationVariant.QPRAC_IDEAL,
+)
+
+
+def _resolve_spec(workload: str | WorkloadSpec) -> WorkloadSpec:
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    return lookup_workload(workload)
+
+
+def build_system(
+    workload: str | WorkloadSpec,
+    config: SystemConfig | None = None,
+    defense_factory: DefenseFactory | None = None,
+    n_entries: int = DEFAULT_ENTRIES,
+    seed: int = 0,
+) -> MulticoreSystem:
+    """Construct (but do not run) a four-copy homogeneous system."""
+    config = config or default_config()
+    spec = _resolve_spec(workload)
+    traces = [
+        generate_trace(spec, n_entries, config.org, seed=seed * 1000 + core)
+        for core in range(config.cpu.cores)
+    ]
+    factory = defense_factory or qprac_factory()
+    return MulticoreSystem(config, traces, factory, workload_name=spec.name)
+
+
+def simulate_workload(
+    workload: str | WorkloadSpec,
+    config: SystemConfig | None = None,
+    variant: MitigationVariant | None = None,
+    defense_factory: DefenseFactory | None = None,
+    n_entries: int = DEFAULT_ENTRIES,
+    seed: int = 0,
+) -> SystemResult:
+    """Simulate one workload under one defense configuration.
+
+    ``variant`` selects a QPRAC policy; pass ``defense_factory`` instead to
+    run a non-QPRAC defense (baseline, MOAT, PrIDE, Mithril).
+    """
+    config = config or default_config()
+    if variant is not None:
+        config = config.with_variant(variant)
+    system = build_system(
+        workload,
+        config,
+        defense_factory=defense_factory,
+        n_entries=n_entries,
+        seed=seed,
+    )
+    name = None
+    if defense_factory is not None and variant is None:
+        name = "custom"
+    elif variant is not None:
+        name = variant.value
+    return system.run(variant_name=name)
+
+
+def simulate_baseline(
+    workload: str | WorkloadSpec,
+    config: SystemConfig | None = None,
+    n_entries: int = DEFAULT_ENTRIES,
+    seed: int = 0,
+) -> SystemResult:
+    """The paper's non-secure baseline (PRAC timings, no ABO)."""
+    result = simulate_workload(
+        workload,
+        config=config,
+        defense_factory=baseline_factory(),
+        n_entries=n_entries,
+        seed=seed,
+    )
+    result.variant = "baseline"
+    return result
+
+
+@dataclass
+class VariantComparison:
+    """Per-workload slowdowns of each variant against the shared baseline."""
+
+    workloads: list[str]
+    baseline: dict[str, SystemResult]
+    results: dict[str, dict[str, SystemResult]] = field(default_factory=dict)
+
+    def slowdown_pct(self, variant: str, workload: str) -> float:
+        return self.results[variant][workload].slowdown_pct_vs(
+            self.baseline[workload]
+        )
+
+    def mean_slowdown_pct(self, variant: str) -> float:
+        values = [
+            self.slowdown_pct(variant, w) for w in self.workloads
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_alerts_per_trefi(self, variant: str) -> float:
+        values = [
+            self.results[variant][w].alerts_per_trefi for w in self.workloads
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+
+def run_variant_comparison(
+    workloads: list[str | WorkloadSpec],
+    variants: tuple[MitigationVariant, ...] = EVALUATED_VARIANTS,
+    config: SystemConfig | None = None,
+    n_entries: int = DEFAULT_ENTRIES,
+    seed: int = 0,
+) -> VariantComparison:
+    """Figure 14/15 style sweep: all variants over a workload list."""
+    config = config or default_config()
+    specs = [_resolve_spec(w) for w in workloads]
+    names = [s.name for s in specs]
+    comparison = VariantComparison(workloads=names, baseline={})
+    for spec in specs:
+        comparison.baseline[spec.name] = simulate_baseline(
+            spec, config=config, n_entries=n_entries, seed=seed
+        )
+    for variant in variants:
+        per_workload: dict[str, SystemResult] = {}
+        for spec in specs:
+            per_workload[spec.name] = simulate_workload(
+                spec,
+                config=config,
+                variant=variant,
+                n_entries=n_entries,
+                seed=seed,
+            )
+        comparison.results[variant.value] = per_workload
+    return comparison

@@ -1,0 +1,85 @@
+"""Attack traffic generators.
+
+Two shapes of adversarial traffic from the paper:
+
+* **Row hammer traces** for CPU-driven runs: alternating activations of a
+  small row set per bank, defeating the row buffer so every access is an
+  activation (used by examples and integration tests).
+* **Wave-attack address schedules** used by
+  :mod:`repro.security.wave_sim` (which drives banks directly).
+
+The multi-bank *performance* attack of Figure 19 is a closed-loop driver
+over the memory system and lives in :mod:`repro.sim.bandwidth`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.trace import Trace
+from repro.dram.address import AddressMapper
+from repro.errors import ConfigError
+from repro.params import DRAMOrganization
+
+
+def hammer_trace(
+    org: DRAMOrganization | None = None,
+    n_entries: int = 50_000,
+    banks: int = 8,
+    rows_per_bank: int = 2,
+    row_stride: int = 64,
+    bubbles: int = 0,
+) -> Trace:
+    """A Rowhammer-style trace: alternate ``rows_per_bank`` rows per bank.
+
+    Alternating between at least two rows in a bank forces a row conflict
+    on every access, turning each access into an activation — the
+    attacker's goal.  Rows are spaced ``row_stride`` apart so victim
+    refreshes of one aggressor never touch another.
+    """
+    org = org or DRAMOrganization()
+    if banks < 1 or banks > org.total_banks:
+        raise ConfigError(f"banks must be in [1, {org.total_banks}]")
+    if rows_per_bank < 2:
+        raise ConfigError("need >= 2 rows per bank to defeat the row buffer")
+    mapper = AddressMapper(org)
+    per_rank = org.banks_per_rank
+    bank_addrs: list[list[int]] = []
+    for flat in range(banks):
+        channel = flat // (org.ranks * per_rank)
+        rem = flat % (org.ranks * per_rank)
+        rank = rem // per_rank
+        rem %= per_rank
+        bg = rem // org.banks_per_group
+        bank = rem % org.banks_per_group
+        rows = [
+            mapper.compose(
+                row=(i * row_stride) % org.rows_per_bank,
+                column=0,
+                channel=channel,
+                rank=rank,
+                bankgroup=bg,
+                bank=bank,
+            )
+            for i in range(rows_per_bank)
+        ]
+        bank_addrs.append(rows)
+    addresses = np.empty(n_entries, dtype=np.int64)
+    for i in range(n_entries):
+        bank_rows = bank_addrs[i % banks]
+        addresses[i] = bank_rows[(i // banks) % rows_per_bank]
+    return Trace(
+        np.full(n_entries, bubbles, dtype=np.int32),
+        addresses,
+        np.zeros(n_entries, dtype=bool),
+        name=f"hammer-{banks}banks",
+    )
+
+
+def wave_attack_rows(r1: int, blast_radius: int = 2) -> list[int]:
+    """Pool rows for the wave attack, spaced outside each other's blast
+    radius (used by the empirical security simulations)."""
+    if r1 < 1:
+        raise ConfigError(f"r1 must be >= 1, got {r1}")
+    spacing = 2 * blast_radius + 2
+    return [spacing * (i + 1) for i in range(r1)]

@@ -1,0 +1,137 @@
+"""The 57-workload evaluation suite (paper Section V).
+
+The paper evaluates 57 applications from SPEC2006, SPEC2017, TPC, Hadoop,
+MediaBench and YCSB, run as four homogeneous copies.  The original traces
+are not redistributable; each entry below is a synthetic stand-in whose
+activation rate, row-burst behaviour, footprint, row-popularity skew and
+write mix are calibrated to the application's published memory character
+(MPKI tiers from the SPEC/benchmark literature).  What matters for the
+reproduction is the *distribution*: a memory-intensive group (RBMPKI >= 2,
+dominating Figures 14/15) and a quiet group, with 429.mcf, 482.sphinx3
+and 510.parest among the most intensive — the paper calls those out by
+name.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.workloads.synthetic import WorkloadSpec
+
+_W = WorkloadSpec
+
+#: All 57 workloads: (name, suite, acts_pki, row_burst, footprint_mb,
+#: zipf_alpha, write_fraction).
+ALL_WORKLOADS: tuple[WorkloadSpec, ...] = (
+    # ---------------- SPEC CPU2006 (19) ----------------
+    _W("401.bzip2", "spec2006", 0.8, 2.0, 24, 0.9, 0.30),
+    _W("403.gcc", "spec2006", 1.2, 1.8, 32, 1.0, 0.30),
+    _W("410.bwaves", "spec2006", 6.0, 4.0, 96, 0.55, 0.25),
+    _W("416.gamess", "spec2006", 0.1, 1.5, 8, 0.8, 0.20),
+    _W("429.mcf", "spec2006", 22.0, 1.3, 256, 1.1, 0.20),
+    _W("433.milc", "spec2006", 8.0, 2.2, 128, 0.7, 0.30),
+    _W("434.zeusmp", "spec2006", 4.5, 3.0, 64, 0.7, 0.30),
+    _W("435.gromacs", "spec2006", 0.4, 1.6, 16, 0.9, 0.25),
+    _W("437.leslie3d", "spec2006", 7.5, 3.5, 96, 0.6, 0.30),
+    _W("444.namd", "spec2006", 0.2, 1.5, 12, 0.8, 0.20),
+    _W("445.gobmk", "spec2006", 0.4, 1.4, 16, 1.0, 0.30),
+    _W("450.soplex", "spec2006", 9.0, 2.0, 128, 0.85, 0.25),
+    _W("456.hmmer", "spec2006", 0.5, 2.5, 16, 0.9, 0.35),
+    _W("458.sjeng", "spec2006", 0.3, 1.3, 16, 1.0, 0.25),
+    _W("459.GemsFDTD", "spec2006", 9.5, 3.2, 128, 0.6, 0.30),
+    _W("462.libquantum", "spec2006", 12.0, 6.0, 64, 0.5, 0.25),
+    _W("470.lbm", "spec2006", 18.0, 4.5, 160, 0.5, 0.40),
+    _W("471.omnetpp", "spec2006", 6.5, 1.2, 96, 1.1, 0.30),
+    _W("482.sphinx3", "spec2006", 8.5, 2.0, 96, 0.95, 0.15),
+    # ---------------- SPEC CPU2017 (16) ----------------
+    _W("500.perlbench", "spec2017", 0.3, 1.5, 16, 1.0, 0.30),
+    _W("502.gcc", "spec2017", 1.5, 1.7, 48, 1.0, 0.30),
+    _W("503.bwaves", "spec2017", 7.0, 4.2, 128, 0.55, 0.30),
+    _W("505.mcf", "spec2017", 16.0, 1.4, 256, 1.1, 0.25),
+    _W("507.cactuBSSN", "spec2017", 5.0, 3.0, 96, 0.7, 0.30),
+    _W("510.parest", "spec2017", 14.0, 1.6, 192, 1.15, 0.25),
+    _W("511.povray", "spec2017", 0.1, 1.4, 8, 0.8, 0.20),
+    _W("519.lbm", "spec2017", 17.0, 4.5, 160, 0.5, 0.40),
+    _W("520.omnetpp", "spec2017", 7.0, 1.2, 112, 1.1, 0.30),
+    _W("523.xalancbmk", "spec2017", 3.0, 1.5, 64, 1.0, 0.25),
+    _W("525.x264", "spec2017", 0.8, 2.5, 32, 0.7, 0.30),
+    _W("531.deepsjeng", "spec2017", 0.4, 1.4, 24, 1.0, 0.25),
+    _W("538.imagick", "spec2017", 0.2, 2.0, 16, 0.7, 0.30),
+    _W("541.leela", "spec2017", 0.3, 1.4, 16, 1.0, 0.25),
+    _W("549.fotonik3d", "spec2017", 10.0, 3.8, 128, 0.55, 0.30),
+    _W("557.xz", "spec2017", 2.5, 1.8, 64, 0.9, 0.30),
+    # ---------------- TPC (6) ----------------
+    _W("tpcc64", "tpc", 4.0, 1.3, 128, 1.15, 0.35),
+    _W("tpch2", "tpc", 6.0, 2.5, 160, 0.85, 0.20),
+    _W("tpch6", "tpc", 7.5, 3.0, 160, 0.8, 0.20),
+    _W("tpch17", "tpc", 5.5, 2.2, 160, 0.85, 0.20),
+    _W("tpch19", "tpc", 4.8, 2.0, 160, 0.85, 0.20),
+    _W("tpce", "tpc", 3.5, 1.2, 192, 1.15, 0.30),
+    # ---------------- Hadoop (4) ----------------
+    _W("hadoop-grep", "hadoop", 3.2, 2.8, 128, 0.8, 0.25),
+    _W("hadoop-wordcount", "hadoop", 2.8, 2.4, 128, 0.85, 0.30),
+    _W("hadoop-sort", "hadoop", 5.5, 3.5, 192, 0.65, 0.40),
+    _W("hadoop-pagerank", "hadoop", 4.2, 1.5, 160, 1.05, 0.30),
+    # ---------------- MediaBench (6) ----------------
+    _W("mb-h264enc", "mediabench", 1.8, 3.0, 48, 0.75, 0.35),
+    _W("mb-h264dec", "mediabench", 1.2, 3.2, 32, 0.75, 0.30),
+    _W("mb-jpeg2000", "mediabench", 2.2, 3.5, 48, 0.7, 0.30),
+    _W("mb-mpeg2enc", "mediabench", 1.5, 3.0, 40, 0.75, 0.35),
+    _W("mb-mpeg2dec", "mediabench", 0.9, 3.0, 32, 0.75, 0.30),
+    _W("mb-adpcm", "mediabench", 0.1, 2.0, 8, 0.8, 0.25),
+    # ---------------- YCSB (6) ----------------
+    _W("ycsb-a", "ycsb", 3.8, 1.2, 192, 1.2, 0.40),
+    _W("ycsb-b", "ycsb", 3.2, 1.2, 192, 1.2, 0.15),
+    _W("ycsb-c", "ycsb", 3.0, 1.2, 192, 1.2, 0.00),
+    _W("ycsb-d", "ycsb", 3.4, 1.3, 192, 1.15, 0.20),
+    _W("ycsb-e", "ycsb", 4.5, 2.0, 192, 1.0, 0.25),
+    _W("ycsb-f", "ycsb", 3.6, 1.2, 192, 1.2, 0.35),
+)
+
+_BY_NAME = {spec.name: spec for spec in ALL_WORKLOADS}
+
+#: Compact representative subset used by default in the benchmark harness
+#: (full 57-workload sweeps are available via ``workloads="all"``).
+REPRESENTATIVE_WORKLOADS: tuple[str, ...] = (
+    "429.mcf",
+    "482.sphinx3",
+    "510.parest",
+    "470.lbm",
+    "471.omnetpp",
+    "tpcc64",
+    "hadoop-sort",
+    "ycsb-a",
+    "403.gcc",
+    "525.x264",
+    "541.leela",
+    "mb-adpcm",
+)
+
+
+def workload(name: str) -> WorkloadSpec:
+    """Look up a workload by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; see repro.workloads.ALL_WORKLOADS"
+        ) from None
+
+
+def workloads_by_suite(suite: str) -> list[WorkloadSpec]:
+    specs = [w for w in ALL_WORKLOADS if w.suite == suite]
+    if not specs:
+        raise ConfigError(f"unknown suite {suite!r}")
+    return specs
+
+
+def memory_intensive_workloads() -> list[WorkloadSpec]:
+    """The paper's RBMPKI >= 2 group (left panel of Figures 14/15)."""
+    return [w for w in ALL_WORKLOADS if w.is_memory_intensive]
+
+
+def suites() -> list[str]:
+    seen: list[str] = []
+    for spec in ALL_WORKLOADS:
+        if spec.suite not in seen:
+            seen.append(spec.suite)
+    return seen

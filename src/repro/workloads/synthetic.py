@@ -1,0 +1,190 @@
+"""Synthetic workload generator.
+
+The paper evaluates 57 application traces (SPEC2006/2017, TPC, Hadoop,
+MediaBench, YCSB).  Those traces are not redistributable, so this module
+generates synthetic traces that reproduce the properties QPRAC's results
+actually depend on:
+
+* **activation rate** (``acts_pki`` — row-buffer misses per
+  kilo-instruction), which sets how fast PRAC counters climb and Alerts
+  fire; the paper's headline split is memory-intensive (RBMPKI >= 2) vs
+  the rest;
+* **row-burst length** (LLC-miss accesses per activated row), which sets
+  the row-hit/miss mix at the DRAM;
+* **footprint and row-popularity skew** (Zipf), which decide how quickly
+  individual rows accumulate counts between mitigations;
+* **read/write mix**.
+
+Traces are generated deterministically from the workload name, so every
+experiment is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.trace import Trace
+from repro.dram.address import AddressMapper
+from repro.errors import ConfigError
+from repro.params import DRAMOrganization
+
+#: Paper's memory-intensity cut: workloads with >= 2 row-buffer misses
+#: per kilo-instruction form the "memory intensive" group of Figure 14.
+MEMORY_INTENSIVE_RBMPKI = 2.0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Statistical description of one application's memory behaviour."""
+
+    name: str
+    suite: str
+    acts_pki: float
+    row_burst: float
+    footprint_mb: float
+    zipf_alpha: float
+    write_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.acts_pki <= 0:
+            raise ConfigError(f"{self.name}: acts_pki must be positive")
+        if self.row_burst < 1.0:
+            raise ConfigError(f"{self.name}: row_burst must be >= 1")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigError(f"{self.name}: write_fraction out of range")
+        if self.zipf_alpha < 0.0:
+            raise ConfigError(f"{self.name}: zipf_alpha must be >= 0")
+        if self.footprint_mb <= 0:
+            raise ConfigError(f"{self.name}: footprint_mb must be positive")
+
+    @property
+    def is_memory_intensive(self) -> bool:
+        return self.acts_pki >= MEMORY_INTENSIVE_RBMPKI
+
+    def footprint_rows(self, org: DRAMOrganization) -> int:
+        rows = int(self.footprint_mb * 1024 * 1024 / org.row_size_bytes)
+        return max(16, rows)
+
+
+def _seed_for(name: str, salt: int) -> int:
+    digest = hashlib.sha256(f"{name}:{salt}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def _bounded_zipf(
+    rng: np.random.Generator, n_items: int, alpha: float, size: int
+) -> np.ndarray:
+    """Draw ``size`` ranks in [0, n_items) with popularity ~ 1/(rank+1)^alpha."""
+    if alpha == 0.0:
+        return rng.integers(0, n_items, size=size)
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return np.searchsorted(cdf, rng.random(size), side="left")
+
+
+def generate_trace(
+    spec: WorkloadSpec,
+    n_entries: int,
+    org: DRAMOrganization | None = None,
+    seed: int = 0,
+) -> Trace:
+    """Generate an ``n_entries``-long trace matching ``spec``.
+
+    Each entry is one LLC-bound memory access; bubbles between entries are
+    sized so that the trace hits the target activation rate when row
+    bursts are taken into account: entries-per-kilo-instruction is
+    ``acts_pki * row_burst``, and each activated row is visited with a
+    geometric burst of distinct sequential lines.
+    """
+    if n_entries < 1:
+        raise ConfigError(f"n_entries must be >= 1, got {n_entries}")
+    org = org or DRAMOrganization()
+    mapper = AddressMapper(org)
+    rng = np.random.default_rng(_seed_for(spec.name, seed))
+    footprint_rows = spec.footprint_rows(org)
+    total_banks = org.total_banks
+    columns = org.columns_per_row
+
+    # Deterministic scatter of logical row ids over (bank, physical row).
+    # The multiplicative hash keeps neighbouring logical rows in different
+    # banks and non-adjacent physical rows.
+    def place(row_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        banks = row_ids % total_banks
+        rows = (row_ids * np.int64(2654435761)) % org.rows_per_bank
+        return banks, rows
+
+    # Draw row visits and burst lengths until we cover n_entries accesses.
+    accesses_needed = n_entries
+    mean_burst = spec.row_burst
+    est_visits = max(16, int(accesses_needed / mean_burst * 1.3) + 8)
+    visit_rows = _bounded_zipf(rng, footprint_rows, spec.zipf_alpha, est_visits)
+    if mean_burst > 1.0:
+        bursts = rng.geometric(p=min(1.0, 1.0 / mean_burst), size=est_visits)
+    else:
+        bursts = np.ones(est_visits, dtype=np.int64)
+    bursts = np.clip(bursts, 1, columns)
+    while int(bursts.sum()) < accesses_needed:
+        extra_rows = _bounded_zipf(
+            rng, footprint_rows, spec.zipf_alpha, est_visits
+        )
+        visit_rows = np.concatenate([visit_rows, extra_rows])
+        extra_bursts = np.clip(
+            rng.geometric(p=min(1.0, 1.0 / mean_burst), size=est_visits),
+            1,
+            columns,
+        )
+        bursts = np.concatenate([bursts, extra_bursts])
+
+    banks_v, rows_v = place(visit_rows.astype(np.int64))
+    start_cols = rng.integers(0, columns, size=len(visit_rows))
+
+    addresses = np.empty(accesses_needed, dtype=np.int64)
+    filled = 0
+    ranks = org.ranks
+    bankgroups = org.bankgroups
+    banks_per_group = org.banks_per_group
+    for i in range(len(visit_rows)):
+        if filled >= accesses_needed:
+            break
+        burst = int(bursts[i])
+        take = min(burst, accesses_needed - filled)
+        flat_bank = int(banks_v[i])
+        channel = flat_bank // (ranks * bankgroups * banks_per_group)
+        rem = flat_bank % (ranks * bankgroups * banks_per_group)
+        rank = rem // (bankgroups * banks_per_group)
+        rem %= bankgroups * banks_per_group
+        bg = rem // banks_per_group
+        bank = rem % banks_per_group
+        base = mapper.compose(
+            row=int(rows_v[i]),
+            column=0,
+            channel=channel,
+            rank=rank,
+            bankgroup=bg,
+            bank=bank,
+        )
+        col0 = int(start_cols[i])
+        for j in range(take):
+            col = (col0 + j) % columns
+            addresses[filled] = base + col * org.line_size_bytes
+            filled += 1
+
+    # Bubbles: entries per kilo-instruction = acts_pki * row_burst.
+    entries_pki = spec.acts_pki * spec.row_burst
+    mean_bubbles = max(0.0, 1000.0 / entries_pki - 1.0)
+    if mean_bubbles > 0:
+        bubbles = rng.poisson(lam=mean_bubbles, size=accesses_needed)
+    else:
+        bubbles = np.zeros(accesses_needed, dtype=np.int64)
+    is_write = rng.random(accesses_needed) < spec.write_fraction
+    return Trace(
+        bubbles.astype(np.int32),
+        addresses,
+        is_write,
+        name=spec.name,
+    )

@@ -1,0 +1,117 @@
+"""Unit tests for the Alert Back-Off protocol state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.abo import AboProtocol, AboState
+from repro.errors import ProtocolError
+from repro.params import PRACParams
+
+
+@pytest.fixture
+def abo() -> AboProtocol:
+    return AboProtocol(PRACParams())  # N_mit = 1, ABO_ACT = 3, delay = 1
+
+
+class TestAlertLifecycle:
+    def test_initial_state_idle(self, abo):
+        assert abo.state is AboState.IDLE
+        assert abo.can_raise_alert()
+        assert abo.can_issue_activation()
+
+    def test_raise_alert_transitions(self, abo):
+        abo.raise_alert()
+        assert abo.state is AboState.ALERTED
+        assert abo.alerts_raised == 1
+        assert not abo.can_raise_alert()
+
+    def test_double_alert_rejected(self, abo):
+        abo.raise_alert()
+        with pytest.raises(ProtocolError):
+            abo.raise_alert()
+
+    def test_window_allows_exactly_abo_act_activations(self, abo):
+        abo.raise_alert()
+        for _ in range(3):
+            assert abo.can_issue_activation()
+            abo.on_activation()
+        assert not abo.can_issue_activation()
+
+    def test_window_overrun_raises(self, abo):
+        abo.raise_alert()
+        for _ in range(3):
+            abo.on_activation()
+        with pytest.raises(ProtocolError):
+            abo.on_activation()
+
+    def test_service_returns_n_mit(self, abo):
+        abo.raise_alert()
+        assert abo.service_rfms() == 1
+        assert abo.rfms_serviced == 1
+
+    def test_service_without_alert_rejected(self, abo):
+        with pytest.raises(ProtocolError):
+            abo.service_rfms()
+
+    def test_delay_phase_blocks_realert(self, abo):
+        abo.raise_alert()
+        abo.service_rfms()
+        assert abo.state is AboState.DELAY
+        assert not abo.can_raise_alert()
+        abo.on_activation()  # ABO_Delay = N_mit = 1
+        assert abo.state is AboState.IDLE
+        assert abo.can_raise_alert()
+
+    def test_full_cycle_can_repeat(self, abo):
+        for _ in range(4):
+            abo.raise_alert()
+            abo.on_activation()
+            abo.service_rfms()
+            abo.on_activation()
+        assert abo.alerts_raised == 4
+
+
+class TestNmitVariants:
+    @pytest.mark.parametrize("n_mit", [1, 2, 4])
+    def test_service_count_matches_n_mit(self, n_mit):
+        abo = AboProtocol(PRACParams(n_mit=n_mit))
+        abo.raise_alert()
+        assert abo.service_rfms() == n_mit
+
+    @pytest.mark.parametrize("n_mit", [2, 4])
+    def test_delay_equals_n_mit_activations(self, n_mit):
+        abo = AboProtocol(PRACParams(n_mit=n_mit))
+        abo.raise_alert()
+        abo.service_rfms()
+        for _ in range(n_mit - 1):
+            abo.on_activation()
+            assert abo.state is AboState.DELAY
+        abo.on_activation()
+        assert abo.state is AboState.IDLE
+
+    def test_zero_delay_goes_straight_to_idle(self):
+        abo = AboProtocol(PRACParams(abo_delay=0))
+        abo.raise_alert()
+        abo.service_rfms()
+        assert abo.state is AboState.IDLE
+
+
+class TestBookkeeping:
+    def test_window_acts_total_accumulates(self, abo):
+        abo.raise_alert()
+        abo.on_activation()
+        abo.on_activation()
+        abo.service_rfms()
+        assert abo.window_acts_total == 2
+
+    def test_idle_activations_do_not_count_in_window(self, abo):
+        abo.on_activation()
+        assert abo.acts_in_window == 0
+        assert abo.window_acts_total == 0
+
+    def test_reset_returns_to_idle(self, abo):
+        abo.raise_alert()
+        abo.reset()
+        assert abo.state is AboState.IDLE
+        assert abo.can_raise_alert()

@@ -1,0 +1,105 @@
+"""Tests for physical-address to DRAM-coordinate mapping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapper, DramAddress
+from repro.errors import ConfigError
+from repro.params import DRAMOrganization
+
+
+@pytest.fixture
+def mapper() -> AddressMapper:
+    return AddressMapper(DRAMOrganization())
+
+
+class TestDecode:
+    def test_address_zero(self, mapper):
+        addr = mapper.decode(0)
+        assert addr == DramAddress(0, 0, 0, 0, 0, 0)
+
+    def test_consecutive_lines_share_a_row(self, mapper):
+        """Low address bits walk the columns of one row (streaming
+        locality maps to row-buffer hits)."""
+        a = mapper.decode(0)
+        b = mapper.decode(64)
+        assert (a.row, a.bank, a.bankgroup, a.rank) == (
+            b.row, b.bank, b.bankgroup, b.rank,
+        )
+        assert b.column == a.column + 1
+
+    def test_bits_above_columns_spread_bankgroups(self, mapper):
+        stride = 64 * DRAMOrganization().columns_per_row
+        a = mapper.decode(0)
+        b = mapper.decode(stride)
+        assert b.bankgroup != a.bankgroup
+
+    def test_fields_in_range(self, mapper):
+        org = DRAMOrganization()
+        for addr in (0, 12345678, 2**35 - 64, 987654321):
+            d = mapper.decode(addr)
+            assert 0 <= d.channel < org.channels
+            assert 0 <= d.rank < org.ranks
+            assert 0 <= d.bankgroup < org.bankgroups
+            assert 0 <= d.bank < org.banks_per_group
+            assert 0 <= d.row < org.rows_per_bank
+            assert 0 <= d.column < org.columns_per_row
+
+    def test_negative_address_rejected(self, mapper):
+        with pytest.raises(ConfigError):
+            mapper.decode(-1)
+
+    def test_address_bits_cover_capacity(self, mapper):
+        org = DRAMOrganization()
+        assert 2**mapper.address_bits == org.capacity_bytes
+
+
+class TestEncodeCompose:
+    def test_compose_roundtrip(self, mapper):
+        phys = mapper.compose(
+            row=1000, column=5, rank=1, bankgroup=3, bank=2
+        )
+        d = mapper.decode(phys)
+        assert d.row == 1000
+        assert d.column == 5
+        assert d.rank == 1
+        assert d.bankgroup == 3
+        assert d.bank == 2
+
+    def test_compose_validates_ranges(self, mapper):
+        org = DRAMOrganization()
+        with pytest.raises(ConfigError):
+            mapper.compose(row=org.rows_per_bank)
+        with pytest.raises(ConfigError):
+            mapper.compose(row=0, column=org.columns_per_row)
+        with pytest.raises(ConfigError):
+            mapper.compose(row=0, rank=org.ranks)
+
+    def test_flat_bank_unique(self, mapper):
+        org = DRAMOrganization()
+        seen = set()
+        for rank in range(org.ranks):
+            for bg in range(org.bankgroups):
+                for bank in range(org.banks_per_group):
+                    d = mapper.decode(
+                        mapper.compose(row=0, rank=rank, bankgroup=bg, bank=bank)
+                    )
+                    seen.add(d.flat_bank(org))
+        assert len(seen) == org.total_banks
+        assert seen == set(range(org.total_banks))
+
+    def test_non_power_of_two_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMapper(DRAMOrganization(bankgroups=3))
+
+
+@given(addr=st.integers(0, 2**36 - 1))
+@settings(max_examples=200, deadline=None)
+def test_decode_encode_roundtrip(addr):
+    """encode(decode(a)) recovers the line-aligned address."""
+    mapper = AddressMapper(DRAMOrganization())
+    line_addr = addr & ~63
+    assert mapper.encode(mapper.decode(line_addr)) == line_addr

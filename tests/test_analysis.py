@@ -1,0 +1,104 @@
+"""Tests for metrics and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    achieved_rbmpki,
+    mean_alerts_per_trefi,
+    mean_slowdown_pct,
+    render_series,
+    render_table,
+    split_by_intensity,
+)
+from repro.cpu.system import SystemResult
+from repro.errors import ConfigError
+
+
+def result(ipc: float, acts: int = 1000, alerts: int = 0) -> SystemResult:
+    return SystemResult(
+        workload="w",
+        variant="v",
+        sim_time_ns=39_000.0,
+        core_ipcs=[ipc] * 4,
+        instructions=100_000,
+        acts=acts,
+        reads=800,
+        writes=200,
+        refs=10,
+        alerts=alerts,
+        rfm_commands=alerts,
+        cadence_rfms=0,
+        row_hit_rate=0.5,
+        llc_hit_rate=0.5,
+        avg_read_latency_ns=50.0,
+        mitigations={},
+    )
+
+
+class TestMetrics:
+    def test_achieved_rbmpki(self):
+        assert achieved_rbmpki(result(1.0, acts=2000)) == 20.0
+
+    def test_weighted_speedup_identity(self):
+        r = result(1.0)
+        assert r.weighted_speedup_vs(r) == 1.0
+
+    def test_slowdown_pct(self):
+        slow = result(0.9)
+        base = result(1.0)
+        assert slow.slowdown_pct_vs(base) == pytest.approx(10.0)
+
+    def test_alerts_per_trefi(self):
+        r = result(1.0, alerts=20)  # 39 us = 10 tREFI
+        assert r.alerts_per_trefi == pytest.approx(2.0)
+
+    def test_mean_slowdown(self):
+        results = {"a": result(0.9), "b": result(0.8)}
+        bases = {"a": result(1.0), "b": result(1.0)}
+        assert mean_slowdown_pct(results, bases) == pytest.approx(15.0)
+
+    def test_mean_alerts(self):
+        results = {"a": result(1.0, alerts=10), "b": result(1.0, alerts=30)}
+        assert mean_alerts_per_trefi(results) == pytest.approx(2.0)
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ConfigError):
+            mean_slowdown_pct({}, {}, workloads=[])
+
+    def test_split_by_intensity(self):
+        intensive, quiet = split_by_intensity(["429.mcf", "541.leela"])
+        assert intensive == ["429.mcf"]
+        assert quiet == ["541.leela"]
+
+
+class TestReportRendering:
+    def test_table_contains_cells(self):
+        text = render_table(
+            "Demo", ["name", "value"], [["alpha", 1.25], ["beta", 2000.0]]
+        )
+        assert "== Demo ==" in text
+        assert "alpha" in text
+        assert "1.25" in text
+        assert "2,000" in text
+
+    def test_table_columns_aligned(self):
+        text = render_table("T", ["a", "b"], [["x", 1], ["longer", 2]])
+        lines = text.splitlines()[1:]
+        assert len({len(line) for line in lines}) == 1
+
+    def test_series_pivots_on_x(self):
+        text = render_series(
+            "S",
+            "n_bo",
+            {"qprac": [(16, 1.0), (32, 0.5)], "moat": [(16, 2.0)]},
+        )
+        assert "n_bo" in text
+        assert "qprac" in text
+        assert "moat" in text
+        lines = text.splitlines()
+        assert any(line.lstrip().startswith("16") for line in lines)
+
+    def test_zero_formatting(self):
+        assert "0" in render_table("Z", ["v"], [[0.0]])

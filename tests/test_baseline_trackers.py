@@ -1,0 +1,213 @@
+"""Unit tests for Panopticon, MOAT, UPRAC and the null baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.moat import MOATBank
+from repro.core.null_defense import NullDefense
+from repro.core.panopticon import FullCompareBank, PanopticonBank
+from repro.core.uprac import UPRACBank
+from repro.errors import ConfigError
+
+NUM_ROWS = 1024
+
+
+class TestPanopticonTbit:
+    def test_enqueue_on_threshold_multiple(self):
+        bank = PanopticonBank(t_bit=3, queue_size=4, num_rows=NUM_ROWS)
+        for _ in range(7):
+            bank.on_activation(5)
+        assert 5 not in bank.queue
+        bank.on_activation(5)  # 8th = 2^3 toggles the t-bit
+        assert 5 in bank.queue
+
+    def test_alert_when_queue_full(self):
+        bank = PanopticonBank(t_bit=1, queue_size=2, num_rows=NUM_ROWS)
+        for row in (1, 2):
+            bank.on_activation(row)
+            assert bank.on_activation(row) == (row == 2)
+        assert bank.wants_alert()
+
+    def test_toggle_bypass_when_full_is_the_vulnerability(self):
+        """The Toggle+Forget hole: a toggle consumed while the queue is
+        full is lost for the next 2^t activations."""
+        bank = PanopticonBank(t_bit=1, queue_size=2, num_rows=NUM_ROWS)
+        for row in (1, 2):
+            bank.on_activation(row)
+            bank.on_activation(row)  # queue now holds rows 1 and 2
+        bank.on_activation(99)
+        bank.on_activation(99)  # 99 toggles while full -> bypassed
+        assert 99 not in bank.queue
+        assert bank.queue.bypasses == 1
+        # Even after the queue drains, 99 is not reconsidered until its
+        # NEXT toggle (2 more activations).
+        bank.on_rfm(is_alerting_bank=True)
+        bank.on_activation(99)
+        assert 99 not in bank.queue
+
+    def test_appendix_a_hardening_blocks_window_toggles(self):
+        bank = PanopticonBank(
+            t_bit=1,
+            queue_size=2,
+            num_rows=NUM_ROWS,
+            tbit_toggles_on_abo_act=False,
+        )
+        bank.on_activation(7, in_abo_window=True)
+        bank.on_activation(7, in_abo_window=True)  # toggle suppressed
+        assert 7 not in bank.queue
+
+    def test_rfm_drains_fifo_head(self):
+        bank = PanopticonBank(t_bit=1, queue_size=4, num_rows=NUM_ROWS)
+        for row in (1, 2):
+            bank.on_activation(row)
+            bank.on_activation(row)
+        assert bank.on_rfm(is_alerting_bank=True) == [1]
+
+    def test_ref_drains_one_entry(self):
+        bank = PanopticonBank(t_bit=1, queue_size=4, num_rows=NUM_ROWS)
+        bank.on_activation(1)
+        bank.on_activation(1)
+        assert bank.on_ref() == [1]
+
+    def test_counter_not_reset_by_mitigation(self):
+        bank = PanopticonBank(t_bit=1, queue_size=4, num_rows=NUM_ROWS)
+        bank.on_activation(1)
+        bank.on_activation(1)
+        bank.on_rfm(is_alerting_bank=True)
+        assert bank.counters.get(1) == 2  # keeps counting to next toggle
+
+    def test_invalid_t_bit(self):
+        with pytest.raises(ConfigError):
+            PanopticonBank(t_bit=0, queue_size=2, num_rows=NUM_ROWS)
+
+
+class TestFullCompareVariant:
+    def test_enqueues_on_every_act_over_threshold(self):
+        bank = FullCompareBank(threshold=4, queue_size=4, num_rows=NUM_ROWS)
+        for _ in range(4):
+            bank.on_activation(9)
+        assert 9 in bank.queue
+
+    def test_bypassed_row_reoffered_on_next_act(self):
+        """Unlike the t-bit design, a full-counter comparison retries the
+        insert on every activation — fixing Toggle+Forget but not
+        Fill+Escape."""
+        bank = FullCompareBank(threshold=2, queue_size=1, num_rows=NUM_ROWS)
+        bank.on_activation(1)
+        bank.on_activation(1)  # row 1 fills the single-entry queue
+        bank.on_activation(2)
+        bank.on_activation(2)  # row 2 bypassed (queue full)
+        assert 2 not in bank.queue
+        bank.on_rfm(is_alerting_bank=True)  # drains row 1
+        bank.on_activation(2)  # retried immediately
+        assert 2 in bank.queue
+
+    def test_mitigation_resets_counter(self):
+        bank = FullCompareBank(threshold=2, queue_size=2, num_rows=NUM_ROWS)
+        bank.on_activation(1)
+        bank.on_activation(1)
+        bank.on_rfm(is_alerting_bank=True)
+        assert bank.counters.get(1) == 0
+
+    def test_ref_drain(self):
+        bank = FullCompareBank(threshold=1, queue_size=2, num_rows=NUM_ROWS)
+        bank.on_activation(3)
+        assert bank.on_ref() == [3]
+
+
+class TestMOAT:
+    def test_tracks_first_row_over_eth(self):
+        bank = MOATBank(n_bo=8, num_rows=NUM_ROWS)  # ETH = 4
+        for _ in range(3):
+            bank.on_activation(1)
+        assert bank.tracked is None
+        bank.on_activation(1)
+        assert bank.tracked == (1, 4)
+
+    def test_higher_count_displaces_tracked(self):
+        bank = MOATBank(n_bo=8, num_rows=NUM_ROWS)
+        for _ in range(4):
+            bank.on_activation(1)
+        for _ in range(5):
+            bank.on_activation(2)
+        assert bank.tracked == (2, 5)
+
+    def test_lower_count_does_not_displace(self):
+        bank = MOATBank(n_bo=8, num_rows=NUM_ROWS)
+        for _ in range(5):
+            bank.on_activation(1)
+        for _ in range(4):
+            bank.on_activation(2)
+        assert bank.tracked == (1, 5)
+
+    def test_alert_at_n_bo(self):
+        bank = MOATBank(n_bo=8, num_rows=NUM_ROWS)
+        for _ in range(7):
+            assert not bank.on_activation(1)
+        assert bank.on_activation(1)
+
+    def test_rfm_mitigates_and_clears(self):
+        bank = MOATBank(n_bo=8, num_rows=NUM_ROWS)
+        for _ in range(8):
+            bank.on_activation(1)
+        assert bank.on_rfm(is_alerting_bank=True) == [1]
+        assert bank.tracked is None
+        assert bank.counters.get(1) == 0
+
+    def test_proactive_cadence(self):
+        bank = MOATBank(n_bo=8, num_rows=NUM_ROWS, proactive_every_n_refs=2)
+        for _ in range(5):
+            bank.on_activation(1)
+        assert bank.on_ref() == []
+        assert bank.on_ref() == [1]
+
+    def test_no_proactive_by_default(self):
+        bank = MOATBank(n_bo=8, num_rows=NUM_ROWS)
+        for _ in range(5):
+            bank.on_activation(1)
+        assert bank.on_ref() == []
+
+    def test_eth_validation(self):
+        with pytest.raises(ConfigError):
+            MOATBank(n_bo=8, num_rows=NUM_ROWS, eth=9)
+
+
+class TestUPRAC:
+    def test_alert_when_any_counter_crosses(self):
+        bank = UPRACBank(n_bo=4, num_rows=NUM_ROWS)
+        for _ in range(3):
+            assert not bank.on_activation(5)
+        assert bank.on_activation(5)
+
+    def test_oracle_mitigates_global_top(self):
+        bank = UPRACBank(n_bo=10, num_rows=NUM_ROWS)
+        for _ in range(3):
+            bank.on_activation(1)
+        for _ in range(5):
+            bank.on_activation(2)
+        assert bank.on_rfm(is_alerting_bank=True) == [2]
+        assert bank.on_rfm(is_alerting_bank=True) == [1]
+
+    def test_scan_cost_is_impractical(self):
+        """Section II-E2: reading every row's counter costs milliseconds."""
+        bank = UPRACBank(n_bo=32, num_rows=128 * 1024)
+        assert bank.alert_scan_cost_ns() > 5_000_000  # > 5 ms
+
+    def test_empty_bank_rfm_noop(self):
+        assert UPRACBank(n_bo=4, num_rows=NUM_ROWS).on_rfm(True) == []
+
+
+class TestNullDefense:
+    def test_never_alerts_never_mitigates(self):
+        d = NullDefense()
+        for _ in range(1000):
+            assert not d.on_activation(1)
+        assert not d.wants_alert()
+        assert d.on_rfm(is_alerting_bank=True) == []
+        assert d.on_ref() == []
+        assert d.stats.activations == 1000
+        assert d.stats.total_mitigations == 0
+
+    def test_no_cadence(self):
+        assert NullDefense().rfm_cadence_acts is None

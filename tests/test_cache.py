@@ -1,0 +1,117 @@
+"""Tests for the shared set-associative LLC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.cache import SetAssociativeCache
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def cache() -> SetAssociativeCache:
+    # 4 sets x 2 ways x 64 B lines = 512 B.
+    return SetAssociativeCache(size_bytes=512, ways=2, line_size=64)
+
+
+def set_stride(cache: SetAssociativeCache) -> int:
+    """Address stride that maps back to the same set."""
+    return cache.num_sets * cache.line_size
+
+
+class TestHitsAndMisses:
+    def test_first_access_misses(self, cache):
+        hit, wb = cache.access(0, False)
+        assert not hit
+        assert wb is None
+
+    def test_second_access_hits(self, cache):
+        cache.access(0, False)
+        hit, _ = cache.access(0, False)
+        assert hit
+
+    def test_same_line_different_offset_hits(self, cache):
+        cache.access(0, False)
+        hit, _ = cache.access(63, False)
+        assert hit
+
+    def test_adjacent_line_misses(self, cache):
+        cache.access(0, False)
+        hit, _ = cache.access(64, False)
+        assert not hit
+
+    def test_hit_rate(self, cache):
+        cache.access(0, False)
+        cache.access(0, False)
+        cache.access(64, False)
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+
+class TestLRUReplacement:
+    def test_eviction_removes_lru(self, cache):
+        s = set_stride(cache)
+        cache.access(0 * s, False)
+        cache.access(1 * s, False)
+        cache.access(2 * s, False)  # evicts address 0
+        assert not cache.access(0, False)[0]
+
+    def test_access_refreshes_lru_position(self, cache):
+        s = set_stride(cache)
+        cache.access(0 * s, False)
+        cache.access(1 * s, False)
+        cache.access(0 * s, False)  # 0 becomes MRU
+        cache.access(2 * s, False)  # evicts 1, not 0
+        assert cache.access(0 * s, False)[0]
+        assert not cache.access(1 * s, False)[0]
+
+
+class TestWriteback:
+    def test_clean_eviction_no_writeback(self, cache):
+        s = set_stride(cache)
+        cache.access(0 * s, False)
+        cache.access(1 * s, False)
+        _hit, wb = cache.access(2 * s, False)
+        assert wb is None
+
+    def test_dirty_eviction_writes_back_victim_address(self, cache):
+        s = set_stride(cache)
+        cache.access(0 * s, True)  # dirty
+        cache.access(1 * s, False)
+        _hit, wb = cache.access(2 * s, False)
+        assert wb == 0 * s
+        assert cache.writebacks == 1
+
+    def test_write_hit_marks_dirty(self, cache):
+        s = set_stride(cache)
+        cache.access(0 * s, False)  # clean fill
+        cache.access(0 * s, True)  # dirtied by the write hit
+        cache.access(1 * s, False)
+        _hit, wb = cache.access(2 * s, False)
+        assert wb == 0 * s
+
+    def test_writeback_maps_to_same_set(self, cache):
+        s = set_stride(cache)
+        base = 3 * 64  # set 3
+        cache.access(base, True)
+        cache.access(base + s, False)
+        _hit, wb = cache.access(base + 2 * s, False)
+        assert wb == base
+
+
+class TestGeometry:
+    def test_occupancy(self, cache):
+        cache.access(0, False)
+        cache.access(64, False)
+        assert cache.occupancy == 2
+
+    def test_paper_llc_geometry(self):
+        llc = SetAssociativeCache(8 * 1024 * 1024, 8, 64)
+        assert llc.num_sets == 16384
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(500, 2, 64)  # not divisible
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(0, 2, 64)
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(384, 2, 64)  # 3 sets: not a power of two

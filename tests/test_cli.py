@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for cmd in ("security", "attacks", "bandwidth", "storage", "workloads"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_perf_requires_workloads(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf"])
+
+    def test_perf_options(self):
+        args = build_parser().parse_args(
+            ["perf", "429.mcf", "--entries", "100", "--nbo-value", "64",
+             "--n-mit", "2"]
+        )
+        assert args.workloads == ["429.mcf"]
+        assert args.entries == 100
+        assert args.nbo_value == 64
+        assert args.n_mit == 2
+
+
+class TestCommands:
+    def test_security(self, capsys):
+        assert main(["security", "--nbo", "1", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "Secure T_RH" in out
+        assert "PRAC-1" in out
+
+    def test_attacks(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "Toggle+Forget" in out
+        assert "Fill+Escape" in out
+
+    def test_bandwidth(self, capsys):
+        assert main(["bandwidth"]) == 0
+        out = capsys.readouterr().out
+        assert "RFMab" in out and "RFMpb+Pro" in out
+
+    def test_storage(self, capsys):
+        assert main(["storage", "--trh", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "QPRAC" in out and "15 bytes" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "429.mcf" in out and "ycsb-f" in out
+
+    def test_perf_tiny_run(self, capsys):
+        assert main(["perf", "541.leela", "--entries", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "qprac-noop" in out
+        assert "541.leela" in out
+
+
+def test_write_csv(tmp_path):
+    from repro.analysis.report import write_csv
+
+    path = tmp_path / "out.csv"
+    write_csv(str(path), ["a", "b"], [[1, 2], [3, 4]])
+    assert path.read_text().splitlines() == ["a,b", "1,2", "3,4"]

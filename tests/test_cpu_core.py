@@ -1,0 +1,116 @@
+"""Tests for the trace-driven core model."""
+
+from __future__ import annotations
+
+from repro.cpu.core import WRITE_BUFFER_DEPTH, TraceCore
+from repro.cpu.trace import Trace
+from repro.engine import EventQueue
+from repro.params import CPUConfig
+
+
+class FixedLatencyMemory:
+    """Test double: every access completes after a fixed latency."""
+
+    def __init__(self, events: EventQueue, latency_ns: float) -> None:
+        self.events = events
+        self.latency = latency_ns
+        self.issued: list[tuple[int, bool, float]] = []
+
+    def issue(self, _core_id, addr, is_write, time, callback) -> None:
+        self.issued.append((addr, is_write, time))
+        if callback is not None:
+            self.events.schedule(time + self.latency, callback)
+
+
+def run_core(
+    entries: list[tuple[int, int, bool]],
+    latency_ns: float = 50.0,
+    cfg: CPUConfig | None = None,
+) -> tuple[TraceCore, FixedLatencyMemory]:
+    cfg = cfg or CPUConfig(cores=1)
+    events = EventQueue()
+    memory = FixedLatencyMemory(events, latency_ns)
+    core = TraceCore(0, Trace.from_lists(entries), cfg, memory.issue)
+    core.start()
+    events.run()
+    assert core.done
+    return core, memory
+
+
+class TestExecution:
+    def test_single_load(self):
+        core, memory = run_core([(0, 64, False)])
+        assert len(memory.issued) == 1
+        assert core.finish_time >= 50.0
+
+    def test_instruction_counting(self):
+        core, _ = run_core([(9, 64, False), (4, 128, False)])
+        assert core.total_instructions == 10 + 5
+
+    def test_ipc_positive_and_bounded_by_width(self):
+        core, _ = run_core([(100, 64, False)])
+        ipc = core.ipc()
+        assert 0 < ipc <= core.cfg.issue_width
+
+    def test_bubbles_take_front_end_time(self):
+        fast, _ = run_core([(0, 64, False)])
+        slow, _ = run_core([(4000, 64, False)])
+        assert slow.finish_time > fast.finish_time
+
+    def test_memory_latency_dominates_memory_bound_trace(self):
+        """With MLP capped, N dependent-ish loads to memory cost at least
+        (N / MLP) serialised round trips."""
+        cfg = CPUConfig(cores=1, max_outstanding_misses=2)
+        entries = [(0, 64 * i, False) for i in range(10)]
+        core, _ = run_core(entries, latency_ns=100.0, cfg=cfg)
+        assert core.finish_time >= (10 / 2 - 1) * 100.0
+
+    def test_mlp_cap_respected(self):
+        cfg = CPUConfig(cores=1, max_outstanding_misses=4)
+        events = EventQueue()
+        memory = FixedLatencyMemory(events, 1000.0)
+        entries = [(0, 64 * i, False) for i in range(32)]
+        core = TraceCore(0, Trace.from_lists(entries), cfg, memory.issue)
+        core.start()
+        # Before any completion, at most 4 loads may be outstanding.
+        assert len(memory.issued) == 4
+        events.run()
+        assert core.done
+
+    def test_rob_limits_run_ahead(self):
+        """A tiny ROB stalls issue even when MSHRs are free."""
+        cfg = CPUConfig(cores=1, rob_entries=12, max_outstanding_misses=16)
+        events = EventQueue()
+        memory = FixedLatencyMemory(events, 1000.0)
+        entries = [(4, 64 * i, False) for i in range(10)]  # 5 insts each
+        core = TraceCore(0, Trace.from_lists(entries), cfg, memory.issue)
+        core.start()
+        assert len(memory.issued) == 2  # 2 entries of 5 insts fit in 12
+        events.run()
+        assert core.done
+
+
+class TestWrites:
+    def test_writes_are_posted(self):
+        """Writes do not serialise execution like loads do."""
+        cfg = CPUConfig(cores=1, max_outstanding_misses=2)
+        loads = [(0, 64 * i, False) for i in range(8)]
+        stores = [(0, 64 * i, True) for i in range(8)]
+        t_loads, _ = run_core(loads, latency_ns=500.0, cfg=cfg)
+        t_stores, _ = run_core(stores, latency_ns=500.0, cfg=cfg)
+        assert t_stores.finish_time < t_loads.finish_time
+
+    def test_write_buffer_backpressure(self):
+        events = EventQueue()
+        memory = FixedLatencyMemory(events, 10_000.0)
+        entries = [(0, 64 * i, True) for i in range(WRITE_BUFFER_DEPTH + 8)]
+        core = TraceCore(0, Trace.from_lists(entries), CPUConfig(cores=1), memory.issue)
+        core.start()
+        assert len(memory.issued) == WRITE_BUFFER_DEPTH
+        events.run()
+        assert core.done
+
+    def test_store_and_load_counts(self):
+        core, _ = run_core([(0, 64, False), (0, 128, True), (0, 192, False)])
+        assert core.loads_issued == 2
+        assert core.stores_issued == 1

@@ -1,0 +1,155 @@
+"""Tests for the energy model (Table III) and storage model (Table IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.defense import MitigationReason
+from repro.cpu.system import SystemResult
+from repro.energy import (
+    EnergyBreakdown,
+    cat_bytes,
+    energy_of_run,
+    misra_gries_bytes,
+    mitigation_breakdown_pct,
+    mitigation_energy_pct,
+    qprac_bytes,
+    table4,
+    twice_bytes,
+)
+from repro.params import default_config
+
+
+def make_result(
+    mitigations: dict[MitigationReason, int] | None = None,
+    acts: int = 10_000,
+    refs: int = 100,
+    sim_time_ns: float = 390_000.0,
+) -> SystemResult:
+    return SystemResult(
+        workload="synthetic",
+        variant="test",
+        sim_time_ns=sim_time_ns,
+        core_ipcs=[1.0],
+        instructions=1_000_000,
+        acts=acts,
+        reads=8_000,
+        writes=2_000,
+        refs=refs,
+        alerts=0,
+        rfm_commands=0,
+        cadence_rfms=0,
+        row_hit_rate=0.5,
+        llc_hit_rate=0.5,
+        avg_read_latency_ns=50.0,
+        mitigations=mitigations or {},
+    )
+
+
+class TestEnergyModel:
+    def test_no_mitigations_no_overhead(self):
+        assert mitigation_energy_pct(make_result()) == 0.0
+
+    def test_overhead_scales_with_mitigations(self):
+        low = mitigation_energy_pct(
+            make_result({MitigationReason.ALERT: 100})
+        )
+        high = mitigation_energy_pct(
+            make_result({MitigationReason.ALERT: 1000})
+        )
+        assert high == pytest.approx(10 * low)
+
+    def test_mitigation_cost_is_blast_radius_rows(self):
+        cfg = default_config()  # BR = 2 -> 5 row-cycles per mitigation
+        breakdown = energy_of_run(
+            make_result({MitigationReason.PROACTIVE: 10}), cfg
+        )
+        assert breakdown.mitigation == pytest.approx(50.0)
+
+    def test_breakdown_components_positive(self):
+        b = energy_of_run(make_result())
+        assert b.activation > 0
+        assert b.read_write > 0
+        assert b.refresh > 0
+        assert b.static > 0
+        assert b.baseline_total == pytest.approx(
+            b.activation + b.read_write + b.refresh + b.static
+        )
+
+    def test_every_ref_proactive_lands_near_paper(self):
+        """Table III: one proactive mitigation per REF per bank yields
+        ~14.6% energy overhead.  Build a run with exactly that shape."""
+        cfg = default_config()
+        trefis = 1000
+        refs = trefis * 2  # two ranks refresh independently
+        mitigations = refs * cfg.org.banks_per_rank  # 1 per bank per REF
+        # Typical benign activity: ~5 ACTs per bank per tREFI.
+        acts = int(5 * cfg.org.total_banks * trefis)
+        result = make_result(
+            {MitigationReason.PROACTIVE: mitigations},
+            acts=acts,
+            refs=refs,
+            sim_time_ns=trefis * cfg.timing.t_refi,
+        )
+        result.reads = int(acts * 0.8)
+        result.writes = acts - result.reads
+        pct = mitigation_energy_pct(result, cfg)
+        assert 11.0 < pct < 18.0
+
+    def test_per_reason_breakdown_sums_to_total(self):
+        result = make_result(
+            {
+                MitigationReason.ALERT: 10,
+                MitigationReason.PROACTIVE: 30,
+            }
+        )
+        parts = mitigation_breakdown_pct(result)
+        assert sum(parts.values()) == pytest.approx(
+            mitigation_energy_pct(result)
+        )
+
+    def test_zero_baseline_rejected(self):
+        empty = EnergyBreakdown(0, 0, 0, 0, 1.0)
+        with pytest.raises(Exception):
+            _ = empty.mitigation_overhead_pct
+
+
+class TestStorageModel:
+    def test_qprac_is_15_bytes(self):
+        assert qprac_bytes() == 15.0
+
+    def test_qprac_independent_of_trh(self):
+        assert qprac_bytes(t_rh=66) == qprac_bytes(t_rh=100)
+
+    def test_paper_anchor_values(self):
+        """Table IV at T_RH = 4K: 42.5 KB / 300 KB / 196 KB."""
+        assert misra_gries_bytes(4096) == pytest.approx(42.5 * 1024)
+        assert twice_bytes(4096) == pytest.approx(300 * 1024)
+        assert cat_bytes(4096) == pytest.approx(196 * 1024)
+
+    def test_paper_trh_100_values(self):
+        """Table IV at T_RH = 100: ~1.7 MB / ~12 MB / ~7.84 MB."""
+        assert misra_gries_bytes(100) == pytest.approx(
+            1700 * 1024, rel=0.05
+        )
+        assert twice_bytes(100) == pytest.approx(12 * 1024**2, rel=0.05)
+        assert cat_bytes(100) == pytest.approx(7.84 * 1024**2, rel=0.05)
+
+    def test_inverse_scaling(self):
+        assert misra_gries_bytes(100) > misra_gries_bytes(1000)
+
+    def test_invalid_trh(self):
+        with pytest.raises(Exception):
+            misra_gries_bytes(0)
+
+    def test_table4_rows(self):
+        rows = table4()
+        assert len(rows) == 8
+        trackers = {r.tracker for r in rows}
+        assert trackers == {"Misra-Gries", "TWiCe", "CAT", "QPRAC"}
+
+    def test_human_formatting(self):
+        rows = {(r.tracker, r.t_rh): r.human for r in table4()}
+        assert rows[("QPRAC", 100)] == "15 bytes"
+        assert "MB" in rows[("TWiCe", 100)]
+        assert "KB" in rows[("Misra-Gries", 4096)]

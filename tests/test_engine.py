@@ -1,0 +1,99 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EventQueue
+from repro.errors import ReproError
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        fired: list[float] = []
+        for t in (5.0, 1.0, 3.0):
+            q.schedule(t, fired.append)
+        q.run()
+        assert fired == [1.0, 3.0, 5.0]
+
+    def test_simultaneous_events_fifo(self):
+        q = EventQueue()
+        order: list[int] = []
+        q.schedule(1.0, lambda _t: order.append(1))
+        q.schedule(1.0, lambda _t: order.append(2))
+        q.run()
+        assert order == [1, 2]
+
+    def test_past_scheduling_clamped_to_now(self):
+        q = EventQueue()
+        fired: list[float] = []
+
+        def late(now: float) -> None:
+            q.schedule(now - 100.0, fired.append)
+
+        q.schedule(10.0, late)
+        q.run()
+        assert fired == [10.0]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        q.schedule(7.0, lambda _t: None)
+        q.run()
+        assert q.now == 7.0
+
+
+class TestRunControl:
+    def test_run_until_leaves_future_events(self):
+        q = EventQueue()
+        fired: list[float] = []
+        q.schedule(1.0, fired.append)
+        q.schedule(100.0, fired.append)
+        q.run(until=50.0)
+        assert fired == [1.0]
+        assert len(q) == 1
+
+    def test_run_until_advances_clock_when_drained(self):
+        q = EventQueue()
+        q.run(until=123.0)
+        assert q.now == 123.0
+
+    def test_step(self):
+        q = EventQueue()
+        fired: list[float] = []
+        q.schedule(1.0, fired.append)
+        q.schedule(2.0, fired.append)
+        assert q.step()
+        assert fired == [1.0]
+        assert q.step()
+        assert not q.step()
+
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def forever(now: float) -> None:
+            q.schedule(now + 1.0, forever)
+
+        q.schedule(0.0, forever)
+        with pytest.raises(ReproError):
+            q.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        q = EventQueue()
+        for t in range(5):
+            q.schedule(float(t), lambda _t: None)
+        q.run()
+        assert q.events_processed == 5
+
+    def test_recursive_scheduling(self):
+        q = EventQueue()
+        fired: list[float] = []
+
+        def chain(now: float) -> None:
+            fired.append(now)
+            if now < 3.0:
+                q.schedule(now + 1.0, chain)
+
+        q.schedule(0.0, chain)
+        q.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]

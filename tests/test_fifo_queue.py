@@ -1,0 +1,80 @@
+"""Unit tests for the FIFO service queue (the insecure baseline design)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fifo_queue import FifoServiceQueue
+from repro.errors import ConfigError, ProtocolError
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        q = FifoServiceQueue(4)
+        for row in (3, 1, 2):
+            q.try_enqueue(row)
+        assert q.pop_front() == 3
+        assert q.pop_front() == 1
+        assert q.pop_front() == 2
+
+    def test_bypass_when_full_is_the_vulnerability(self):
+        q = FifoServiceQueue(2)
+        assert q.try_enqueue(1)
+        assert q.try_enqueue(2)
+        assert not q.try_enqueue(3)  # dropped — the Fill+Escape hole
+        assert q.bypasses == 1
+        assert 3 not in q
+
+    def test_duplicate_enqueue_suppressed_not_bypassed(self):
+        q = FifoServiceQueue(2)
+        q.try_enqueue(1)
+        assert q.try_enqueue(1)
+        assert len(q) == 1
+        assert q.bypasses == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ProtocolError):
+            FifoServiceQueue(2).pop_front()
+
+    def test_pop_front_or_none(self):
+        q = FifoServiceQueue(2)
+        assert q.pop_front_or_none() is None
+        q.try_enqueue(5)
+        assert q.pop_front_or_none() == 5
+
+    def test_membership_tracked_across_pop(self):
+        q = FifoServiceQueue(2)
+        q.try_enqueue(1)
+        q.pop_front()
+        assert 1 not in q
+        assert q.try_enqueue(1)
+
+    def test_is_full(self):
+        q = FifoServiceQueue(1)
+        assert not q.is_full
+        q.try_enqueue(9)
+        assert q.is_full
+
+    def test_snapshot_oldest_first(self):
+        q = FifoServiceQueue(3)
+        for row in (7, 8):
+            q.try_enqueue(row)
+        assert q.snapshot() == [7, 8]
+
+    def test_clear(self):
+        q = FifoServiceQueue(3)
+        q.try_enqueue(1)
+        q.clear()
+        assert len(q) == 0
+        assert 1 not in q
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            FifoServiceQueue(0)
+
+    def test_enqueue_counter(self):
+        q = FifoServiceQueue(2)
+        q.try_enqueue(1)
+        q.try_enqueue(2)
+        q.try_enqueue(3)
+        assert q.enqueues == 2

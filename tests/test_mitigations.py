@@ -1,0 +1,174 @@
+"""Tests for the PrIDE / Mithril baselines and the Misra-Gries sketch."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.mitigations import (
+    MisraGries,
+    MithrilBank,
+    PrIDEBank,
+    mithril_cadence_acts,
+    mithril_entries,
+    pride_cadence_acts,
+)
+
+NUM_ROWS = 1024
+
+
+class TestMisraGries:
+    def test_tracks_heavy_hitter(self):
+        mg = MisraGries(entries=2)
+        stream = [1] * 50 + [2, 3, 4, 5] * 5
+        for item in stream:
+            mg.observe(item)
+        assert 1 in mg
+
+    def test_estimate_is_lower_bound(self):
+        mg = MisraGries(entries=2)
+        for item in [1] * 10 + [2, 3] * 4:
+            mg.observe(item)
+        assert mg.count_of(1) <= 10
+
+    def test_top_and_pop(self):
+        mg = MisraGries(entries=4)
+        for item in [7] * 5 + [8] * 3:
+            mg.observe(item)
+        assert mg.top()[0] == 7
+        assert mg.pop_top()[0] == 7
+        assert 7 not in mg
+
+    def test_pop_empty(self):
+        assert MisraGries(2).pop_top() is None
+
+    def test_error_bound_formula(self):
+        mg = MisraGries(entries=9)
+        for i in range(100):
+            mg.observe(i)
+        assert mg.error_bound() == pytest.approx(10.0)
+
+    def test_entries_for_threshold(self):
+        assert MisraGries.entries_for_threshold(550_000, 4096, 2.0) == 268
+
+    def test_invalid_entries(self):
+        with pytest.raises(ConfigError):
+            MisraGries(0)
+
+    @given(
+        stream=st.lists(st.integers(0, 15), min_size=1, max_size=400),
+        entries=st.integers(1, 8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_frequent_item_guarantee(self, stream, entries):
+        """Any item occurring more than N/(k+1) times must be tracked —
+        the guarantee Mithril's security argument is built on."""
+        mg = MisraGries(entries)
+        for item in stream:
+            mg.observe(item)
+        threshold = len(stream) / (entries + 1)
+        for item in set(stream):
+            if stream.count(item) > threshold:
+                assert item in mg
+
+    @given(
+        stream=st.lists(st.integers(0, 15), min_size=1, max_size=400),
+        entries=st.integers(1, 8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_undercount_bounded_by_decrements(self, stream, entries):
+        mg = MisraGries(entries)
+        for item in stream:
+            mg.observe(item)
+        for item in set(stream):
+            true = stream.count(item)
+            assert mg.count_of(item) >= true - mg.decrements
+
+
+class TestCadenceScaling:
+    def test_pride_cadence_examples(self):
+        assert pride_cadence_acts(1700) == 68  # ~1 RFM per tREFI
+        assert pride_cadence_acts(64) == 2
+
+    def test_mithril_needs_more_frequent_rfms(self):
+        for t_rh in (64, 256, 1024):
+            assert mithril_cadence_acts(t_rh) <= pride_cadence_acts(t_rh)
+
+    def test_cadence_minimum_one(self):
+        assert pride_cadence_acts(1) == 1
+        assert mithril_cadence_acts(1) == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigError):
+            pride_cadence_acts(0)
+        with pytest.raises(ConfigError):
+            mithril_cadence_acts(0)
+
+    def test_mithril_entries_grow_at_low_trh(self):
+        assert mithril_entries(100) > mithril_entries(4096)
+
+
+class TestPrIDEBank:
+    def test_never_alerts(self):
+        bank = PrIDEBank(t_rh=256, num_rows=NUM_ROWS)
+        for i in range(200):
+            assert not bank.on_activation(i % 8)
+        assert not bank.wants_alert()
+
+    def test_exposes_cadence(self):
+        bank = PrIDEBank(t_rh=256, num_rows=NUM_ROWS)
+        assert bank.rfm_cadence_acts == pride_cadence_acts(256)
+
+    def test_sampling_fills_queue(self):
+        bank = PrIDEBank(t_rh=256, num_rows=NUM_ROWS, seed=3)
+        for i in range(500):
+            bank.on_activation(i % 4)
+        assert len(bank.queue) > 0
+
+    def test_rfm_mitigates_sampled_row(self):
+        bank = PrIDEBank(t_rh=256, num_rows=NUM_ROWS, seed=3)
+        for i in range(500):
+            bank.on_activation(i % 4)
+        mitigated = bank.on_rfm(is_alerting_bank=True)
+        assert mitigated and mitigated[0] in range(4)
+        assert bank.stats.total_mitigations == 1
+
+    def test_rfm_with_empty_queue_is_noop(self):
+        bank = PrIDEBank(t_rh=256, num_rows=NUM_ROWS, seed=3)
+        assert bank.on_rfm(is_alerting_bank=True) == []
+
+    def test_deterministic_per_seed(self):
+        runs = []
+        for _ in range(2):
+            bank = PrIDEBank(t_rh=256, num_rows=NUM_ROWS, seed=42)
+            for i in range(300):
+                bank.on_activation(i % 8)
+            runs.append(bank.queue.snapshot())
+        assert runs[0] == runs[1]
+
+
+class TestMithrilBank:
+    def test_never_alerts(self):
+        bank = MithrilBank(t_rh=256, num_rows=NUM_ROWS)
+        for i in range(200):
+            assert not bank.on_activation(i % 8)
+        assert not bank.wants_alert()
+
+    def test_rfm_mitigates_top_estimate(self):
+        bank = MithrilBank(t_rh=256, num_rows=NUM_ROWS)
+        for _ in range(20):
+            bank.on_activation(5)
+        bank.on_activation(6)
+        assert bank.on_rfm(is_alerting_bank=True) == [5]
+        assert bank.counters.get(5) == 0
+
+    def test_tracker_sized_from_threshold(self):
+        small = MithrilBank(t_rh=4096, num_rows=NUM_ROWS)
+        large = MithrilBank(t_rh=100, num_rows=NUM_ROWS)
+        assert large.tracker.entries >= small.tracker.entries
+
+    def test_explicit_entries_honoured(self):
+        bank = MithrilBank(t_rh=256, num_rows=NUM_ROWS, entries=16)
+        assert bank.tracker.entries == 16

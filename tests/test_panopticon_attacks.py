@@ -1,0 +1,134 @@
+"""Tests for the Panopticon attack simulators (Figures 2, 3, 23)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.security.panopticon_attacks import (
+    AttackBudget,
+    blocking_tbit_max_acts,
+    figure2_series,
+    figure3_series,
+    figure23_series,
+    fill_escape_max_acts,
+    toggle_forget_max_acts,
+    toggle_forget_simulate,
+)
+
+
+class TestToggleForget:
+    def test_paper_scale_at_queue_4(self):
+        """Figure 2: beyond 100K unmitigated activations at queue size 4."""
+        assert toggle_forget_max_acts(4, 6) > 100_000
+
+    def test_paper_scale_at_queue_16(self):
+        """Figure 2: roughly 25-35K at queue size 16."""
+        value = toggle_forget_max_acts(16, 6)
+        assert 20_000 < value < 40_000
+
+    def test_decreases_with_queue_size(self):
+        values = [toggle_forget_max_acts(q, 8) for q in (4, 8, 12, 16)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_independent_of_threshold(self):
+        """Figure 2's key observation: the vulnerability magnitude does
+        not depend on the mitigation threshold (t-bit)."""
+        at_t6 = toggle_forget_max_acts(8, 6)
+        at_t10 = toggle_forget_max_acts(8, 10)
+        assert abs(at_t6 - at_t10) / at_t6 < 0.1
+
+    def test_breaks_sub100_trh_by_100x(self):
+        """The paper: a row can receive 100x a sub-100 T_RH unmitigated."""
+        assert toggle_forget_max_acts(4, 6) > 100 * 100
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            toggle_forget_max_acts(0, 6)
+        with pytest.raises(ConfigError):
+            toggle_forget_max_acts(4, 0)
+
+    def test_event_faithful_sim_matches_closed_form(self):
+        """The slot-by-slot simulation against a real PanopticonBank must
+        agree with the closed-form budget model within 10%."""
+        budget_slots = 60_000
+        simulated = toggle_forget_simulate(4, 6, max_slots=budget_slots)
+        modelled = toggle_forget_max_acts(
+            4, 6, AttackBudget()
+        ) * budget_slots / AttackBudget().total_slots
+        assert abs(simulated - modelled) / modelled < 0.10
+
+    def test_simulated_target_never_mitigated(self):
+        """The essence of Toggle+Forget: the target row accumulates
+        thousands of activations with zero mitigations."""
+        acts = toggle_forget_simulate(4, 6, max_slots=30_000)
+        assert acts > 1_000
+
+
+class TestFillEscape:
+    def test_minimum_near_512(self):
+        """Figure 3: the curve bottoms out around a threshold of 512."""
+        thresholds = (64, 128, 256, 512, 1024, 2048, 4096)
+        values = {m: fill_escape_max_acts(m, 4) for m in thresholds}
+        best = min(values, key=values.get)
+        assert best in (256, 512, 1024)
+
+    def test_minimum_exceeds_1k(self):
+        """Paper: at least ~1.3K unmitigated ACTs at threshold 512 — the
+        design is insecure below T_RH ~1280."""
+        assert fill_escape_max_acts(512, 4) > 1_000
+
+    def test_low_threshold_blows_up(self):
+        assert fill_escape_max_acts(64, 4) > 4_000
+
+    def test_high_threshold_dominated_by_setup(self):
+        # At M = 4096 the M-1 unmitigated setup activations dominate.
+        assert fill_escape_max_acts(4096, 4) > 4_095
+
+    def test_queue_size_secondary(self):
+        """Figure 3: the queue-size family curves nearly overlap."""
+        v4 = fill_escape_max_acts(512, 4)
+        v64 = fill_escape_max_acts(512, 64)
+        assert abs(v4 - v64) / v4 < 0.15
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigError):
+            fill_escape_max_acts(1, 4)
+
+
+class TestBlockingTbit:
+    def test_decreases_with_threshold(self):
+        values = [
+            blocking_tbit_max_acts(m, 4) for m in (16, 64, 256, 1024, 4096)
+        ]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_paper_scale_at_1024(self):
+        """Appendix A: ~1800+ unmitigated ACTs at a threshold of 1024."""
+        assert blocking_tbit_max_acts(1024, 4) > 1_500
+
+    def test_still_insecure_at_low_thresholds(self):
+        assert blocking_tbit_max_acts(16, 4) > 50_000
+
+    def test_capped_by_bank_budget(self):
+        value = blocking_tbit_max_acts(2, 1, banks=32)
+        assert value <= AttackBudget().total_slots
+
+    def test_invalid_banks(self):
+        with pytest.raises(ConfigError):
+            blocking_tbit_max_acts(64, 4, banks=0)
+
+
+class TestSeriesHelpers:
+    def test_figure2_series(self):
+        series = figure2_series(queue_sizes=(4, 8), t_bits=(6,))
+        assert list(series) == [6]
+        assert [q for q, _ in series[6]] == [4, 8]
+
+    def test_figure3_series(self):
+        series = figure3_series(thresholds=(64, 512), queue_sizes=(4,))
+        assert [m for m, _ in series[4]] == [64, 512]
+
+    def test_figure23_series(self):
+        series = figure23_series(thresholds=(16, 1024), queue_sizes=(4, 8))
+        assert set(series) == {4, 8}

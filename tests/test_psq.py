@@ -1,0 +1,188 @@
+"""Unit tests for the Priority-based Service Queue (paper Section III-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.psq import PriorityServiceQueue
+from repro.errors import ConfigError, ProtocolError
+
+
+@pytest.fixture
+def psq() -> PriorityServiceQueue:
+    return PriorityServiceQueue(size=5)
+
+
+class TestConstruction:
+    def test_size_recorded(self, psq):
+        assert psq.size == 5
+
+    def test_starts_empty(self, psq):
+        assert len(psq) == 0
+        assert not psq.is_full
+        assert psq.top() is None
+        assert psq.max_count() == 0
+        assert psq.min_count() == 0
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigError):
+            PriorityServiceQueue(0)
+
+
+class TestInsertion:
+    def test_insert_until_full(self, psq):
+        for row in range(5):
+            assert psq.observe(row, row + 1)
+        assert psq.is_full
+        assert len(psq) == 5
+
+    def test_insert_with_free_space_always_accepted(self, psq):
+        assert psq.observe(10, 1)  # even count 1 enters a non-full queue
+        assert 10 in psq
+
+    def test_full_queue_rejects_lower_count(self, psq):
+        for row in range(5):
+            psq.observe(row, 10)
+        assert not psq.observe(99, 5)
+        assert 99 not in psq
+        assert psq.rejected == 1
+
+    def test_full_queue_rejects_equal_count(self, psq):
+        # Paper: insert only rows with counts *higher* than the minimum.
+        for row in range(5):
+            psq.observe(row, 10)
+        assert not psq.observe(99, 10)
+
+    def test_full_queue_accepts_higher_count_and_evicts_min(self, psq):
+        for row in range(5):
+            psq.observe(row, row + 1)  # counts 1..5, min is row 0
+        assert psq.observe(99, 7)
+        assert 99 in psq
+        assert 0 not in psq
+        assert psq.evictions == 1
+
+    def test_priority_insertion_is_the_fill_escape_defense(self, psq):
+        """Figure 9: a row hammered with ABO_ACT while the queue is full
+        still enters the PSQ (unlike the FIFO bypass)."""
+        for row in range(5):
+            psq.observe(row, 32)  # full of N_BO-level entries
+        assert psq.observe(1000, 35)  # the hammered target, N_BO + 3
+        assert 1000 in psq
+        assert psq.top().row == 1000
+
+    def test_negative_count_rejected(self, psq):
+        with pytest.raises(ProtocolError):
+            psq.observe(1, -1)
+
+
+class TestHitUpdate:
+    def test_hit_updates_count_in_place(self, psq):
+        psq.observe(7, 3)
+        psq.observe(7, 9)
+        assert psq.count_of(7) == 9
+        assert len(psq) == 1
+        assert psq.hits == 1
+
+    def test_hit_does_not_consume_capacity(self, psq):
+        for row in range(5):
+            psq.observe(row, 2)
+        psq.observe(3, 4)
+        assert len(psq) == 5
+
+
+class TestPriorityOrder:
+    def test_top_is_max_count(self, psq):
+        psq.observe(1, 5)
+        psq.observe(2, 11)
+        psq.observe(3, 7)
+        assert psq.top().row == 2
+
+    def test_iteration_is_descending(self, psq):
+        for row, count in [(1, 5), (2, 11), (3, 7)]:
+            psq.observe(row, count)
+        counts = [entry.count for entry in psq]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_rows_ordering_matches_iteration(self, psq):
+        for row, count in [(1, 5), (2, 11), (3, 7)]:
+            psq.observe(row, count)
+        assert psq.rows() == [2, 3, 1]
+
+    def test_min_count_of_partial_queue_is_zero(self, psq):
+        psq.observe(1, 5)
+        assert psq.min_count() == 0
+
+    def test_min_count_of_full_queue(self, psq):
+        for row in range(5):
+            psq.observe(row, row + 3)
+        assert psq.min_count() == 3
+
+    def test_tie_break_evicts_oldest(self, psq):
+        for row in range(5):
+            psq.observe(row, 4)  # all tied
+        psq.observe(50, 6)
+        assert 0 not in psq  # row 0 was the oldest among the tied minimum
+        assert 1 in psq
+
+    def test_tie_break_top_prefers_newest(self, psq):
+        psq.observe(1, 9)
+        psq.observe(2, 9)
+        assert psq.top().row == 2
+
+
+class TestMitigationPath:
+    def test_pop_top_removes_max(self, psq):
+        psq.observe(1, 5)
+        psq.observe(2, 11)
+        entry = psq.pop_top()
+        assert entry.row == 2
+        assert entry.count == 11
+        assert 2 not in psq
+
+    def test_pop_top_empty_raises(self, psq):
+        with pytest.raises(ProtocolError):
+            psq.pop_top()
+
+    def test_remove_known_row(self, psq):
+        psq.observe(4, 4)
+        assert psq.remove(4)
+        assert 4 not in psq
+
+    def test_remove_unknown_row(self, psq):
+        assert not psq.remove(123)
+
+    def test_clear(self, psq):
+        psq.observe(1, 1)
+        psq.clear()
+        assert len(psq) == 0
+
+
+class TestSnapshotAndStats:
+    def test_snapshot_pairs(self, psq):
+        psq.observe(1, 5)
+        psq.observe(2, 11)
+        assert psq.snapshot() == [(2, 11), (1, 5)]
+
+    def test_insert_stats(self, psq):
+        for row in range(7):
+            psq.observe(row, row + 1)
+        assert psq.inserts == 7
+        assert psq.evictions == 2
+
+    def test_single_entry_queue(self):
+        q = PriorityServiceQueue(1)
+        q.observe(1, 5)
+        assert not q.observe(2, 5)  # equal: rejected
+        assert q.observe(2, 6)
+        assert q.rows() == [2]
+
+
+class TestAlwaysFullIntuition:
+    def test_full_queue_keeps_top_counts_seen(self, psq):
+        """Section III-B3: the PSQ retains the highest-count rows even
+        when an attacker cycles more rows than its capacity."""
+        # 20 rows with distinct counts arrive in a worst-case (ascending)
+        # order; the queue must end holding the 5 highest.
+        for row in range(20):
+            psq.observe(row, row + 1)
+        assert sorted(psq.rows()) == [15, 16, 17, 18, 19]

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for PSQ security invariants.
+
+The queue-policy invariants behind Section IV-B's security argument:
+
+* the PSQ's maximum tracked count always equals the maximum live counter
+  value (the "global maximum cannot hide outside the queue" property),
+* the queue never exceeds its capacity and never loses a row that was
+  just observed with the strictly-highest count,
+* hit updates keep tracked counts consistent with the counter bank.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prac_counters import PRACCounterBank
+from repro.core.psq import PriorityServiceQueue
+
+ROWS = 24
+
+
+def _replay(stream: list[int], size: int):
+    """Feed an activation stream through counters + PSQ, like a bank."""
+    counters = PRACCounterBank(ROWS)
+    psq = PriorityServiceQueue(size)
+    for row in stream:
+        count = counters.activate(row)
+        psq.observe(row, count)
+    return counters, psq
+
+
+@given(
+    stream=st.lists(st.integers(0, ROWS - 1), min_size=1, max_size=300),
+    size=st.integers(1, 8),
+)
+@settings(max_examples=200, deadline=None)
+def test_max_tracked_equals_max_counter(stream, size):
+    """The top PSQ count always equals the highest live counter value,
+    so an Alert threshold check on the PSQ never under-triggers."""
+    counters, psq = _replay(stream, size)
+    assert psq.max_count() == counters.max_count()
+
+
+@given(
+    stream=st.lists(st.integers(0, ROWS - 1), min_size=1, max_size=300),
+    size=st.integers(1, 8),
+)
+@settings(max_examples=200, deadline=None)
+def test_capacity_never_exceeded(stream, size):
+    _counters, psq = _replay(stream, size)
+    assert len(psq) <= size
+
+
+@given(
+    stream=st.lists(st.integers(0, ROWS - 1), min_size=1, max_size=300),
+    size=st.integers(1, 8),
+)
+@settings(max_examples=200, deadline=None)
+def test_tracked_counts_match_counters(stream, size):
+    """Every tracked entry's count equals that row's true counter — the
+    PSQ is PRAC-aware and never holds a stale count for the row it would
+    mitigate."""
+    counters, psq = _replay(stream, size)
+    # The most recently activated row is always tracked accurately; other
+    # entries were exact when last observed and rows only grow through
+    # observation, so equality must hold for all entries.
+    for row, count in psq.snapshot():
+        assert counters.get(row) == count
+
+
+@given(
+    stream=st.lists(st.integers(0, ROWS - 1), min_size=1, max_size=300),
+    size=st.integers(1, 8),
+)
+@settings(max_examples=200, deadline=None)
+def test_last_observed_strict_max_is_present(stream, size):
+    """A row observed with a strictly higher count than every other row
+    must be resident (the Fill+Escape immunity property)."""
+    counters, psq = _replay(stream, size)
+    counts = counters.nonzero_rows()
+    top_count = max(counts.values())
+    top_rows = [row for row, c in counts.items() if c == top_count]
+    if len(top_rows) == 1:
+        assert top_rows[0] in psq
+
+
+@given(
+    stream=st.lists(st.integers(0, ROWS - 1), min_size=5, max_size=300),
+    size=st.integers(2, 8),
+)
+@settings(max_examples=100, deadline=None)
+def test_pop_top_returns_nonincreasing_counts(stream, size):
+    """Draining the queue yields counts in non-increasing order — the
+    N_mit RFMs of one Alert mitigate the queue's top-N."""
+    _counters, psq = _replay(stream, size)
+    drained = []
+    while len(psq):
+        drained.append(psq.pop_top().count)
+    assert drained == sorted(drained, reverse=True)
+
+
+@given(
+    stream=st.lists(st.integers(0, ROWS - 1), min_size=1, max_size=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_single_entry_queue_tracks_running_max(stream):
+    """A 1-entry PSQ degenerates to a running-max register (MOAT-like)."""
+    counters, psq = _replay(stream, 1)
+    assert psq.max_count() == counters.max_count()

@@ -1,0 +1,195 @@
+"""Unit tests for the QPRAC per-bank engine and its policy variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.defense import MitigationReason, blast_radius_victims
+from repro.core.qprac import QPRACBank
+from repro.params import MitigationVariant, PRACParams
+
+NUM_ROWS = 4096
+
+
+def make_bank(
+    variant=MitigationVariant.QPRAC,
+    n_bo=8,
+    n_mit=1,
+    psq_size=5,
+    **kwargs,
+) -> QPRACBank:
+    params = PRACParams(n_bo=n_bo, n_mit=n_mit, psq_size=psq_size, **kwargs)
+    return QPRACBank(params, num_rows=NUM_ROWS, variant=variant)
+
+
+def hammer(bank: QPRACBank, row: int, times: int) -> bool:
+    wants = False
+    for _ in range(times):
+        wants = bank.on_activation(row)
+    return wants
+
+
+class TestActivationPath:
+    def test_activation_updates_counter_and_psq(self):
+        bank = make_bank()
+        bank.on_activation(100)
+        assert bank.counters.get(100) == 1
+        assert 100 in bank.psq
+
+    def test_alert_at_n_bo(self):
+        bank = make_bank(n_bo=8)
+        assert not hammer(bank, 100, 7)
+        assert hammer(bank, 100, 1)  # the 8th activation crosses N_BO
+        assert bank.wants_alert()
+
+    def test_no_alert_below_n_bo(self):
+        bank = make_bank(n_bo=8)
+        hammer(bank, 100, 7)
+        assert not bank.wants_alert()
+
+    def test_single_threshold_rule(self):
+        """Section III-C1: one threshold flags mitigation AND raises the
+        Alert — the row that trips it is the one at the PSQ top."""
+        bank = make_bank(n_bo=8)
+        hammer(bank, 100, 8)
+        assert bank.psq.top().row == 100
+        assert bank.psq.top().count == 8
+
+
+class TestMitigation:
+    def test_rfm_mitigates_top_and_resets_counter(self):
+        bank = make_bank(n_bo=8)
+        hammer(bank, 100, 8)
+        hammer(bank, 200, 3)
+        mitigated = bank.on_rfm(is_alerting_bank=True)
+        assert mitigated == [100]
+        assert bank.counters.get(100) == 0
+        assert 100 not in bank.psq
+        assert not bank.wants_alert()
+
+    def test_victims_refreshed_and_counted(self):
+        """Section III-C2: blast-radius victims get counter increments
+        (transitive / Half-Double protection)."""
+        bank = make_bank(n_bo=8)
+        hammer(bank, 100, 8)
+        bank.on_rfm(is_alerting_bank=True)
+        for victim in (98, 99, 101, 102):
+            assert bank.counters.get(victim) == 1
+        assert bank.stats.victim_refreshes == 4
+
+    def test_victims_enter_psq_when_eligible(self):
+        bank = make_bank(n_bo=8, psq_size=5)
+        hammer(bank, 100, 8)
+        bank.on_rfm(is_alerting_bank=True)
+        # Queue had spare capacity, so count-1 victims are inserted.
+        assert 99 in bank.psq
+
+    def test_edge_row_victims_clipped(self):
+        bank = make_bank(n_bo=8)
+        hammer(bank, 0, 8)
+        victims = blast_radius_victims(0, 2, NUM_ROWS)
+        assert victims == [1, 2]
+        bank.on_rfm(is_alerting_bank=True)
+        assert bank.counters.get(1) == 1
+
+    def test_rfm_on_empty_psq_is_noop(self):
+        bank = make_bank()
+        assert bank.on_rfm(is_alerting_bank=True) == []
+
+    def test_mitigation_reasons_attributed(self):
+        bank = make_bank(variant=MitigationVariant.QPRAC)
+        hammer(bank, 100, 8)
+        bank.on_rfm(is_alerting_bank=True)
+        hammer(bank, 200, 2)
+        bank.on_rfm(is_alerting_bank=False)
+        counts = bank.stats.mitigations_by_reason
+        assert counts[MitigationReason.ALERT] == 1
+        assert counts[MitigationReason.OPPORTUNISTIC] == 1
+
+
+class TestVariantPolicies:
+    def test_noop_skips_opportunistic(self):
+        bank = make_bank(variant=MitigationVariant.QPRAC_NOOP, n_bo=8)
+        hammer(bank, 100, 3)  # below N_BO
+        assert bank.on_rfm(is_alerting_bank=False) == []
+
+    def test_noop_mitigates_when_it_wants_alert(self):
+        bank = make_bank(variant=MitigationVariant.QPRAC_NOOP, n_bo=8)
+        hammer(bank, 100, 8)
+        assert bank.on_rfm(is_alerting_bank=False) == [100]
+
+    def test_qprac_mitigates_opportunistically_below_n_bo(self):
+        bank = make_bank(variant=MitigationVariant.QPRAC, n_bo=8)
+        hammer(bank, 100, 3)
+        assert bank.on_rfm(is_alerting_bank=False) == [100]
+
+    def test_plain_variants_skip_proactive(self):
+        for variant in (MitigationVariant.QPRAC_NOOP, MitigationVariant.QPRAC):
+            bank = make_bank(variant=variant, n_bo=8)
+            hammer(bank, 100, 5)
+            assert bank.on_ref() == []
+
+    def test_proactive_mitigates_on_every_ref(self):
+        bank = make_bank(variant=MitigationVariant.QPRAC_PROACTIVE, n_bo=8)
+        hammer(bank, 100, 2)  # far below N_BO
+        assert bank.on_ref() == [100]
+        counts = bank.stats.mitigations_by_reason
+        assert counts[MitigationReason.PROACTIVE] == 1
+
+    def test_proactive_cadence_every_n_refs(self):
+        bank = QPRACBank(
+            PRACParams(n_bo=8, proactive_every_n_refs=2),
+            num_rows=NUM_ROWS,
+            variant=MitigationVariant.QPRAC_PROACTIVE,
+        )
+        hammer(bank, 100, 3)
+        assert bank.on_ref() == []  # 1st REF skipped
+        assert bank.on_ref() == [100]  # 2nd REF mitigates
+
+    def test_energy_aware_respects_n_pro(self):
+        bank = make_bank(
+            variant=MitigationVariant.QPRAC_PROACTIVE_EA, n_bo=8
+        )  # N_PRO = 4
+        hammer(bank, 100, 3)
+        assert bank.on_ref() == []  # below N_PRO: skipped (energy saved)
+        hammer(bank, 100, 1)
+        assert bank.on_ref() == [100]  # at N_PRO: mitigated
+
+    def test_ideal_mitigates_global_top_even_outside_psq(self):
+        bank = make_bank(variant=MitigationVariant.QPRAC_IDEAL, n_bo=20, psq_size=1)
+        hammer(bank, 100, 10)
+        # Push 100 out of the 1-entry PSQ with a hotter row.
+        hammer(bank, 200, 12)
+        assert 100 not in bank.psq
+        assert bank.on_rfm(is_alerting_bank=True) == [200]
+        # The oracle finds row 100 next even though the PSQ lost it.
+        assert bank.on_rfm(is_alerting_bank=True) == [100]
+
+    def test_ideal_proactive_on_ref(self):
+        bank = make_bank(variant=MitigationVariant.QPRAC_IDEAL, n_bo=20)
+        hammer(bank, 100, 3)
+        assert bank.on_ref() == [100]
+
+
+class TestSizing:
+    def test_storage_is_15_bytes_for_default_config(self):
+        """Section VI-F: 5 entries x (17-bit RowID + 7-bit counter)."""
+        bank = QPRACBank(
+            PRACParams(), num_rows=128 * 1024, variant=MitigationVariant.QPRAC
+        )
+        assert bank.storage_bits() == 120
+        assert bank.storage_bits() / 8 == 15.0
+
+    def test_counters_do_not_saturate_under_protocol(self):
+        """With the mitigation path running, bounded counters never hit
+        their ceiling (Section III-E sizing)."""
+        bank = make_bank(n_bo=8)
+        for _ in range(50):
+            if hammer(bank, 100, 1):
+                bank.on_rfm(is_alerting_bank=True)
+        assert bank.counters.saturation_events == 0
+
+    def test_max_tracked_count(self):
+        bank = make_bank()
+        hammer(bank, 1, 5)
+        assert bank.max_tracked_count() == 5

@@ -1,0 +1,155 @@
+"""Tests for the analytical security model — including regression checks
+against the paper's reported numbers (Figures 6-8, 11-13)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.security.analytical import (
+    NBO_SWEEP,
+    AttackModelConfig,
+    _cfg_for,
+    attack_time_ns,
+    figure6_series,
+    figure7_series,
+    figure8_series,
+    max_r1,
+    n_online,
+    secure_trh,
+    setup_phase,
+    simulate_online_phase,
+)
+
+
+class TestOnlinePhase:
+    def test_pool_shrinks_every_round(self):
+        cfg = _cfg_for(1, 1)
+        result = simulate_online_phase(1000, cfg)
+        assert result.rounds > 0
+        assert result.total_alerts > 0
+
+    def test_nonline_formula(self):
+        """Equation (2): N_online = N_R + ABO_ACT + ABO_Delay + BR."""
+        cfg = _cfg_for(1, 1)
+        result = simulate_online_phase(1000, cfg)
+        assert result.n_online == result.rounds + 3 + 1 + 2
+
+    def test_trivial_pool(self):
+        cfg = _cfg_for(1, 1)
+        result = simulate_online_phase(1, cfg)
+        assert result.rounds == 0
+
+    def test_negative_pool_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_online_phase(-1, _cfg_for(1, 1))
+
+    def test_more_rfms_fewer_rounds(self):
+        rounds = {
+            n_mit: simulate_online_phase(50_000, _cfg_for(1, n_mit)).rounds
+            for n_mit in (1, 2, 4)
+        }
+        assert rounds[1] > rounds[2] > rounds[4]
+
+    def test_proactive_shrinks_pool_faster(self):
+        cfg = _cfg_for(1, 1)
+        base = simulate_online_phase(50_000, cfg)
+        pro = simulate_online_phase(50_000, cfg, proactive=True)
+        assert pro.rounds <= base.rounds
+        assert pro.proactive_mitigations > 0
+
+
+class TestPaperFigure6:
+    """N_online at R1 = 128K must reproduce 46 / 30 / 23 (±2)."""
+
+    @pytest.mark.parametrize(
+        "n_mit,expected", [(1, 46), (2, 30), (4, 23)]
+    )
+    def test_nonline_at_max_pool(self, n_mit, expected):
+        value = n_online(128 * 1024, _cfg_for(1, n_mit))
+        assert abs(value - expected) <= 2
+
+    def test_nonline_monotone_in_r1(self):
+        cfg = _cfg_for(1, 1)
+        values = [n_online(r1, cfg) for r1 in (1000, 10_000, 100_000)]
+        assert values == sorted(values)
+
+    def test_series_helper_shape(self):
+        series = figure6_series(r1_values=[1000, 10_000])
+        assert set(series) == {1, 2, 4}
+        assert len(series[1]) == 2
+
+
+class TestPaperFigure7:
+    def test_max_r1_at_nbo_1(self):
+        """Paper: R1 ranges from ~50K (PRAC-1) to ~62K (PRAC-4)."""
+        r1_1 = max_r1(_cfg_for(1, 1))
+        r1_4 = max_r1(_cfg_for(1, 4))
+        assert 45_000 <= r1_1 <= 57_000
+        assert 58_000 <= r1_4 <= 70_000
+        assert r1_1 < r1_4
+
+    def test_max_r1_at_nbo_256_is_about_2k(self):
+        for n_mit in (1, 2, 4):
+            assert 1_800 <= max_r1(_cfg_for(256, n_mit)) <= 2_400
+
+    def test_max_r1_decreases_with_nbo(self):
+        values = [max_r1(_cfg_for(n_bo, 1)) for n_bo in NBO_SWEEP]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_setup_phase_cost(self):
+        cfg = _cfg_for(32, 1)
+        acts, time_ns = setup_phase(1000, cfg)
+        assert acts == 1000 * 31
+        assert time_ns == pytest.approx(acts * cfg.timing.t_rc)
+
+    def test_attack_fits_in_trefw(self):
+        cfg = _cfg_for(32, 1)
+        r1 = max_r1(cfg)
+        assert attack_time_ns(r1, cfg) <= cfg.budget_ns
+        assert attack_time_ns(r1 + 200, cfg) > cfg.budget_ns
+
+
+class TestPaperFigure8:
+    """The headline security numbers of the paper."""
+
+    @pytest.mark.parametrize("n_mit,expected", [(1, 44), (2, 29), (4, 22)])
+    def test_trh_at_nbo_1(self, n_mit, expected):
+        assert abs(secure_trh(_cfg_for(1, n_mit)) - expected) <= 2
+
+    @pytest.mark.parametrize("n_mit,expected", [(1, 71), (2, 58), (4, 52)])
+    def test_trh_at_default_nbo_32(self, n_mit, expected):
+        assert abs(secure_trh(_cfg_for(32, n_mit)) - expected) <= 3
+
+    @pytest.mark.parametrize("n_mit,expected", [(1, 289), (2, 279), (4, 274)])
+    def test_trh_at_nbo_256(self, n_mit, expected):
+        assert abs(secure_trh(_cfg_for(256, n_mit)) - expected) <= 4
+
+    def test_trh_grows_with_nbo(self):
+        values = [secure_trh(_cfg_for(n_bo, 1)) for n_bo in NBO_SWEEP]
+        assert values == sorted(values)
+
+    def test_more_rfms_lower_trh(self):
+        t1 = secure_trh(_cfg_for(1, 1))
+        t2 = secure_trh(_cfg_for(1, 2))
+        t4 = secure_trh(_cfg_for(1, 4))
+        assert t1 > t2 > t4
+
+    def test_series_helper(self):
+        series = figure8_series(nbo_values=(1, 32))
+        assert series[1][0] == (1, secure_trh(_cfg_for(1, 1)))
+
+
+class TestConfigValidation:
+    def test_invalid_rounding_rejected(self):
+        with pytest.raises(ConfigError):
+            AttackModelConfig(rounding="up")
+
+    def test_budget_excludes_refresh_overhead(self):
+        cfg = AttackModelConfig()
+        assert cfg.budget_ns < 32_000_000.0
+
+    def test_floor_rounding_supported(self):
+        cfg = AttackModelConfig(rounding="floor")
+        result = simulate_online_phase(10_000, cfg)
+        assert result.rounds > 0

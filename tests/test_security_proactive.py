@@ -1,0 +1,96 @@
+"""Tests for the proactive-mitigation security extension (Section IV-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.security.analytical import _cfg_for, max_r1, secure_trh
+from repro.security.proactive import (
+    compare,
+    figure11_series,
+    figure12_series,
+    figure13_series,
+)
+
+
+class TestSetupPhaseImpact:
+    def test_attack_defeated_at_nbo_128_and_256(self):
+        """Figure 11: N_BO of 128/256 loses a row per <67 setup ACTs, so
+        the pool dies before any row reaches the threshold."""
+        for n_bo in (128, 256):
+            assert max_r1(_cfg_for(n_bo, 1), proactive=True) == 0
+
+    def test_pool_reduced_at_nbo_32(self):
+        base = max_r1(_cfg_for(32, 1))
+        pro = max_r1(_cfg_for(32, 1), proactive=True)
+        assert pro < base
+
+    def test_pool_barely_affected_at_nbo_1(self):
+        """With no setup phase the pool can even grow (shorter online
+        phase), as the paper notes for N_BO < 16."""
+        base = max_r1(_cfg_for(1, 1))
+        pro = max_r1(_cfg_for(1, 1), proactive=True)
+        assert pro >= 0.9 * base
+
+    def test_ea_between_base_and_proactive(self):
+        base = max_r1(_cfg_for(64, 1))
+        pro = max_r1(_cfg_for(64, 1), proactive=True)
+        ea = max_r1(_cfg_for(64, 1), ea=True)
+        assert pro <= ea <= base
+
+
+class TestPaperFigure13:
+    @pytest.mark.parametrize("n_mit,expected", [(1, 40), (2, 27), (4, 20)])
+    def test_trh_at_nbo_1_with_proactive(self, n_mit, expected):
+        value = secure_trh(_cfg_for(1, n_mit), proactive=True)
+        assert abs(value - expected) <= 2
+
+    @pytest.mark.parametrize("n_mit,expected", [(1, 66), (2, 55), (4, 50)])
+    def test_trh_at_nbo_32_with_proactive(self, n_mit, expected):
+        value = secure_trh(_cfg_for(32, n_mit), proactive=True)
+        assert abs(value - expected) <= 3
+
+    def test_proactive_never_hurts_security(self):
+        for n_bo in (1, 8, 32, 64):
+            base = secure_trh(_cfg_for(n_bo, 1))
+            pro = secure_trh(_cfg_for(n_bo, 1), proactive=True)
+            assert pro <= base
+
+    def test_ea_security_between_base_and_proactive(self):
+        """Section IV-C: the energy-aware design sits between QPRAC and
+        QPRAC+Proactive."""
+        for n_bo in (32, 64):
+            base = secure_trh(_cfg_for(n_bo, 1))
+            pro = secure_trh(_cfg_for(n_bo, 1), proactive=True)
+            ea = secure_trh(_cfg_for(n_bo, 1), ea=True)
+            assert pro <= ea <= base
+
+
+class TestComparisonHelpers:
+    def test_compare_bundle(self):
+        c = compare(32, 1)
+        assert c.n_bo == 32
+        assert c.trh_proactive <= c.trh_ea <= c.trh_base
+        assert not c.attack_defeated
+
+    def test_compare_defeated_flag(self):
+        assert compare(128, 1).attack_defeated
+
+    def test_figure11_series_shape(self):
+        series = figure11_series(nbo_values=(1, 128))
+        assert set(series) == {1, 2, 4}
+        assert {"base", "proactive"} == set(series[1])
+        # Proactive kills the pool at N_BO = 128 for every PRAC level.
+        for n_mit in (1, 2, 4):
+            assert series[n_mit]["proactive"][1] == (128, 0)
+
+    def test_figure12_series_nonline_reduced(self):
+        series = figure12_series(r1_values=[50_000])
+        for n_mit in (1, 2, 4):
+            base = series[n_mit]["base"][0][1]
+            pro = series[n_mit]["proactive"][0][1]
+            assert pro <= base
+
+    def test_figure13_series_shape(self):
+        series = figure13_series(nbo_values=(1, 32))
+        assert len(series[1]["base"]) == 2
