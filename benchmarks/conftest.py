@@ -11,18 +11,25 @@ Environment knobs:
   for the full 57-workload sweep (slow).  Default: a 6-workload
   representative mix (the paper's call-outs plus a quiet workload).
 * ``REPRO_BENCH_ENTRIES`` — trace length per core (default 6000).
+* ``REPRO_BENCH_JOBS`` — worker processes for the simulation sweeps
+  (default 1; the sweeps are deterministic at any value).
+* ``REPRO_BENCH_CACHE`` — directory for the orchestrator's result cache.
+  Unset (the default) disables caching so every benchmark run simulates
+  honestly; point it somewhere persistent to iterate on figure code
+  without re-simulating.
 """
 
 from __future__ import annotations
 
 import os
+from functools import lru_cache
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.report import render_series, render_table
+from repro.exp import ResultStore, SweepSpec, run_sweep
 from repro.params import SystemConfig, default_config
-from repro.sim import simulate_baseline
 from repro.workloads.suites import ALL_WORKLOADS
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -50,6 +57,25 @@ def bench_entries() -> int:
     return int(os.environ.get("REPRO_BENCH_ENTRIES", "6000"))
 
 
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+@lru_cache(maxsize=1)
+def bench_store() -> ResultStore | None:
+    """Result cache for the simulation sweeps (None = disabled).
+
+    Memoized: one JSONL load per session, shared by every sweep.
+    """
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE", "")
+    return ResultStore(cache_dir) if cache_dir else None
+
+
+def bench_sweep(spec: SweepSpec):
+    """Run a sweep with the harness-wide jobs/cache settings."""
+    return run_sweep(spec, jobs=bench_jobs(), store=bench_store())
+
+
 def emit(name: str, text: str) -> None:
     """Print a result block and persist it under benchmarks/results/."""
     print()
@@ -73,27 +99,36 @@ def config() -> SystemConfig:
 
 @pytest.fixture(scope="session")
 def baselines(config):
-    """Insecure-baseline runs shared by all performance figures."""
-    entries = bench_entries()
-    return {
-        name: simulate_baseline(name, config=config, n_entries=entries)
-        for name in bench_workloads()
-    }
+    """Insecure-baseline runs shared by all performance figures.
+
+    A baseline-only sweep, so sensitivity benchmarks that need nothing
+    else never pay for the five-variant grid below.
+    """
+    from repro.exp import BASELINE
+
+    spec = SweepSpec(
+        workloads=bench_workloads(),
+        variants=(),
+        config=config,
+        include_baseline=True,
+        n_entries=bench_entries(),
+    )
+    return bench_sweep(spec).results_by_variant()[BASELINE]
 
 
 @pytest.fixture(scope="session")
-def variant_runs(config, baselines):
+def variant_runs(config):
     """All five evaluated variants over the bench workloads
     (shared by Figures 14 and 15)."""
-    from repro.sim import EVALUATED_VARIANTS, simulate_workload
+    from repro.params import MitigationVariant
+    from repro.sim import EVALUATED_VARIANTS
 
-    entries = bench_entries()
-    runs = {}
-    for variant in EVALUATED_VARIANTS:
-        runs[variant] = {
-            name: simulate_workload(
-                name, config=config, variant=variant, n_entries=entries
-            )
-            for name in bench_workloads()
-        }
-    return runs
+    spec = SweepSpec(
+        workloads=bench_workloads(),
+        variants=EVALUATED_VARIANTS,
+        config=config,
+        include_baseline=False,
+        n_entries=bench_entries(),
+    )
+    table = bench_sweep(spec).results_by_variant()
+    return {MitigationVariant(name): runs for name, runs in table.items()}

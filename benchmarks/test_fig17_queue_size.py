@@ -7,45 +7,47 @@ across proactive cadences (1 per 1/2/4 tREFI).
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_workloads, emit_table
+from conftest import bench_entries, bench_sweep, bench_workloads, emit_table
 
+from repro.exp import SweepSpec, mean_slowdown_by_override
 from repro.params import MitigationVariant
-from repro.sim import simulate_workload
 
 
 def test_fig17_psq_size_sensitivity(benchmark, config, baselines):
     names = list(bench_workloads())[:3]
     entries = bench_entries()
+    sizes = (1, 2, 3, 4, 5)
+    cadences = (1, 2, 4)
+    # Two orchestrated grids sharing the fixture baselines (overrides only
+    # alter the defense, so the insecure baseline is unaffected by them).
+    size_spec = SweepSpec.build(
+        names, (MitigationVariant.QPRAC,),
+        overrides=tuple({"psq_size": s} for s in sizes),
+        config=config, include_baseline=False, n_entries=entries,
+    )
+    cadence_spec = SweepSpec.build(
+        names, (MitigationVariant.QPRAC_PROACTIVE_EA,),
+        overrides=tuple({"proactive_every_n_refs": c} for c in cadences),
+        config=config, include_baseline=False, n_entries=entries,
+    )
 
     def build():
         rows = []
-        qprac_by_size = {}
-        for size in (1, 2, 3, 4, 5):
-            cfg = config.with_prac(psq_size=size)
-            slow = []
-            for name in names:
-                run = simulate_workload(
-                    name, config=cfg,
-                    variant=MitigationVariant.QPRAC, n_entries=entries,
-                )
-                slow.append(run.slowdown_pct_vs(baselines[name]))
-            mean = sum(slow) / len(slow)
-            qprac_by_size[size] = mean
-            rows.append([size, "qprac", round(mean, 2)])
-        for cadence in (1, 2, 4):
-            cfg = config.with_prac(proactive_every_n_refs=cadence)
-            slow = []
-            for name in names:
-                run = simulate_workload(
-                    name, config=cfg,
-                    variant=MitigationVariant.QPRAC_PROACTIVE_EA,
-                    n_entries=entries,
-                )
-                slow.append(run.slowdown_pct_vs(baselines[name]))
-            rows.append(
-                [5, f"ea 1-per-{cadence}-tREFI",
-                 round(sum(slow) / len(slow), 2)]
-            )
+        size_means = mean_slowdown_by_override(
+            bench_sweep(size_spec), MitigationVariant.QPRAC.value, baselines
+        )
+        qprac_by_size = {
+            size: size_means[(("psq_size", size),)] for size in sizes
+        }
+        for size in sizes:
+            rows.append([size, "qprac", round(qprac_by_size[size], 2)])
+        cadence_means = mean_slowdown_by_override(
+            bench_sweep(cadence_spec),
+            MitigationVariant.QPRAC_PROACTIVE_EA.value, baselines,
+        )
+        for cadence in cadences:
+            mean = cadence_means[(("proactive_every_n_refs", cadence),)]
+            rows.append([5, f"ea 1-per-{cadence}-tREFI", round(mean, 2)])
         return rows, qprac_by_size
 
     rows, qprac_by_size = benchmark.pedantic(build, rounds=1, iterations=1)

@@ -8,15 +8,21 @@ suites through the evaluated QPRAC variants and reports the three
 numbers an operator cares about: slowdown, Alert rate, and mitigation
 energy.
 
-Run:  python examples/datacenter_workload_study.py
+The whole study is one declarative sweep through the experiment
+orchestrator, so it parallelises (``--jobs 4``) and re-runs hit the
+result cache (``--cache-dir``) instead of re-simulating.
+
+Run:  python examples/datacenter_workload_study.py [--jobs N]
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro.analysis.report import render_table
 from repro.energy import mitigation_energy_pct
+from repro.exp import ResultStore, SweepSpec, run_sweep, stderr_progress
 from repro.params import MitigationVariant, default_config
-from repro.sim import simulate_baseline, simulate_workload
 from repro.workloads import workloads_by_suite
 
 ENTRIES = 5000
@@ -29,26 +35,47 @@ VARIANTS = (
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory "
+                        "(default: ~/.cache/qprac-repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always simulate; do not touch the cache")
+    args = parser.parse_args()
+
     config = default_config()
+    # Two representative applications per suite keep runtime short;
+    # extend the slices for a full sweep — the cache makes that cheap.
+    specs = [
+        spec for suite in SUITES for spec in workloads_by_suite(suite)[:2]
+    ]
+    sweep = run_sweep(
+        SweepSpec(
+            workloads=tuple(specs),
+            variants=VARIANTS,
+            config=config,
+            include_baseline=True,
+            n_entries=ENTRIES,
+        ),
+        jobs=args.jobs,
+        store=None if args.no_cache else ResultStore(args.cache_dir),
+        progress=stderr_progress,
+    )
+    comparison = sweep.comparison()
     rows = []
-    for suite in SUITES:
-        # Two representative applications per suite keep runtime short;
-        # pass more via workloads_by_suite(suite) for a full sweep.
-        specs = workloads_by_suite(suite)[:2]
-        for spec in specs:
-            baseline = simulate_baseline(spec, config=config, n_entries=ENTRIES)
-            for variant in VARIANTS:
-                run = simulate_workload(
-                    spec, config=config, variant=variant, n_entries=ENTRIES
-                )
-                rows.append([
-                    suite,
-                    spec.name,
-                    variant.value,
-                    round(run.slowdown_pct_vs(baseline), 2),
-                    round(run.alerts_per_trefi, 3),
-                    round(mitigation_energy_pct(run, config), 2),
-                ])
+    for spec in specs:
+        for variant in VARIANTS:
+            run = comparison.results[variant.value][spec.name]
+            rows.append([
+                spec.suite,
+                spec.name,
+                variant.value,
+                round(comparison.slowdown_pct(variant.value, spec.name), 2),
+                round(run.alerts_per_trefi, 3),
+                round(mitigation_energy_pct(run, config), 2),
+            ])
     print(render_table(
         "Datacenter study: QPRAC variants on server suites "
         "(N_BO=32, PRAC-1)",
@@ -56,6 +83,9 @@ def main() -> None:
          "alerts/tREFI", "energy %"],
         rows,
     ))
+    print()
+    print(f"{sweep.total_jobs} jobs: {sweep.executed} simulated, "
+          f"{sweep.cache_hits} from cache in {sweep.elapsed_s:.1f}s")
     print()
     print("Reading the table:")
     print(" * qprac-noop shows why opportunistic mitigation matters —")

@@ -5,6 +5,7 @@ Usage::
     python -m repro security          # Figures 6-8, 13: analytical bounds
     python -m repro attacks           # Figures 2, 3, 23: Panopticon attacks
     python -m repro perf 429.mcf ...  # Figure 14/15-style variant sweep
+    python -m repro sweep 429.mcf ... # orchestrated sweep: --jobs, cached
     python -m repro bandwidth         # Figure 19: performance attacks
     python -m repro storage           # Table IV: tracker SRAM
     python -m repro workloads         # list the 57-workload suite
@@ -16,9 +17,31 @@ writes to ``benchmarks/results/``.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
 from repro.analysis.report import render_series, render_table
+from repro.errors import ReproError
+
+
+def _variant_choices():
+    from repro.params import MitigationVariant
+
+    return tuple(MitigationVariant)
+
+
+def _comparison_rows(comparison, variants) -> list[list[object]]:
+    """Shared workload x variant table body (perf and sweep commands)."""
+    rows = []
+    for name in comparison.workloads:
+        for variant in variants:
+            run = comparison.results[variant.value][name]
+            rows.append([
+                name, variant.value,
+                round(comparison.slowdown_pct(variant.value, name), 2),
+                round(run.alerts_per_trefi, 3),
+            ])
+    return rows
 
 
 def _cmd_security(args: argparse.Namespace) -> int:
@@ -71,21 +94,49 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         list(args.workloads), variants=variants, config=config,
         n_entries=args.entries,
     )
-    rows = []
-    for name in comparison.workloads:
-        for variant in variants:
-            run = comparison.results[variant.value][name]
-            rows.append([
-                name, variant.value,
-                round(comparison.slowdown_pct(variant.value, name), 2),
-                round(run.alerts_per_trefi, 3),
-            ])
     print(render_table(
         f"Variant sweep (N_BO={args.nbo_value}, PRAC-{args.n_mit}, "
         f"{args.entries} accesses/core)",
         ["workload", "variant", "slowdown %", "alerts/tREFI"],
-        rows,
+        _comparison_rows(comparison, variants),
     ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.exp import ResultStore, SweepSpec, run_sweep, stderr_progress
+    from repro.params import MitigationVariant, default_config
+    from repro.sim import EVALUATED_VARIANTS
+
+    config = default_config().with_prac(n_bo=args.nbo_value, n_mit=args.n_mit,
+                                        abo_delay=None)
+    if args.variants:
+        variants = tuple(MitigationVariant(v) for v in args.variants)
+    else:
+        variants = EVALUATED_VARIANTS
+    spec = SweepSpec(
+        workloads=tuple(args.workloads),
+        variants=variants,
+        config=config,
+        n_entries=args.entries,
+        seed=args.seed,
+    )
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    progress = None if args.quiet else stderr_progress
+    sweep = run_sweep(spec, jobs=args.jobs, store=store, progress=progress)
+    comparison = sweep.comparison()
+    print(render_table(
+        f"Orchestrated sweep (N_BO={args.nbo_value}, PRAC-{args.n_mit}, "
+        f"{args.entries} accesses/core, jobs={args.jobs})",
+        ["workload", "variant", "slowdown %", "alerts/tREFI"],
+        _comparison_rows(comparison, variants),
+    ))
+    cache_note = "cache disabled" if store is None else f"cache {store.path}"
+    print(
+        f"{sweep.total_jobs} jobs: {sweep.executed} simulated, "
+        f"{sweep.cache_hits} from cache ({cache_note}) "
+        f"in {sweep.elapsed_s:.2f}s"
+    )
     return 0
 
 
@@ -160,6 +211,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-mit", type=int, default=1, choices=(1, 2, 4))
     p.set_defaults(func=_cmd_perf)
 
+    p = sub.add_parser(
+        "sweep",
+        help="parallel, cached workload x variant sweep",
+        description="Run a workload x variant sweep through the "
+        "experiment orchestrator: parallel with --jobs, resumable via "
+        "the content-addressed result cache.",
+    )
+    p.add_argument("workloads", nargs="+")
+    p.add_argument("--variants", nargs="+", default=None,
+                   metavar="VARIANT",
+                   choices=[v.value for v in _variant_choices()],
+                   help="policy variants (default: the paper's five)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default 1 = in-process)")
+    p.add_argument("--entries", type=int, default=5000)
+    p.add_argument("--nbo-value", type=int, default=32)
+    p.add_argument("--n-mit", type=int, default=1, choices=(1, 2, 4))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                   "$REPRO_CACHE_DIR or ~/.cache/qprac-repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="simulate everything; do not read or write the cache")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress on stderr")
+    p.set_defaults(func=_cmd_sweep)
+
     p = sub.add_parser("bandwidth", help="performance attack (Fig 19)")
     p.set_defaults(func=_cmd_bandwidth)
 
@@ -175,7 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

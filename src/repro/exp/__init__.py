@@ -1,0 +1,53 @@
+"""Experiment orchestration: declarative sweeps, parallel execution,
+content-addressed result caching.
+
+The layer between the simulator core and every consumer that runs more
+than one simulation::
+
+    from repro.exp import ResultStore, SweepSpec, run_sweep
+
+    spec = SweepSpec.build(["429.mcf", "470.lbm"], ["qprac"], n_entries=5000)
+    sweep = run_sweep(spec, jobs=4, store=ResultStore("/tmp/cache"))
+    table = sweep.comparison()          # VariantComparison, as before
+    print(sweep.cache_hits, sweep.executed)
+"""
+
+from repro.exp.aggregate import comparison_from_sweep, mean_slowdown_by_override
+from repro.exp.cache import CACHE_DIR_ENV, ResultStore, default_cache_dir
+from repro.exp.runner import (
+    JobOutcome,
+    SweepResult,
+    execute_job,
+    run_sweep,
+    stderr_progress,
+)
+from repro.exp.serialize import (
+    SCHEMA_VERSION,
+    canonical_json,
+    code_version_salt,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.exp.spec import BASELINE, Job, SweepSpec, overrides_label
+
+__all__ = [
+    "BASELINE",
+    "CACHE_DIR_ENV",
+    "Job",
+    "JobOutcome",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "SweepResult",
+    "SweepSpec",
+    "canonical_json",
+    "code_version_salt",
+    "comparison_from_sweep",
+    "default_cache_dir",
+    "execute_job",
+    "mean_slowdown_by_override",
+    "overrides_label",
+    "result_from_dict",
+    "result_to_dict",
+    "run_sweep",
+    "stderr_progress",
+]

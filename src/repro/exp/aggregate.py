@@ -1,0 +1,78 @@
+"""Reconstitute comparison tables from sweep outcomes or raw cache rows.
+
+The aggregation layer closes the loop between the orchestrator and the
+analysis code that predates it: a finished (possibly fully cached)
+:class:`~repro.exp.runner.SweepResult` turns back into the
+:class:`~repro.sim.runner.VariantComparison` shape every figure
+benchmark already consumes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.exp.spec import BASELINE, Overrides
+from repro.sim.runner import VariantComparison
+
+
+def comparison_from_sweep(
+    sweep, overrides: Overrides | None = None
+) -> VariantComparison:
+    """Build a :class:`VariantComparison` for one override set.
+
+    ``overrides=None`` (the default) resolves to the spec's only
+    override set; a sweep over several sets must name the one to
+    aggregate.  Requires the sweep to have included baseline runs
+    (slowdowns are relative); raises :class:`ReproError` otherwise.
+    Baselines are shared across override sets (see
+    :meth:`SweepSpec.expand`), so every set compares against the same
+    insecure runs.
+    """
+    if overrides is None:
+        sets = sweep.spec.overrides
+        if len(sets) != 1:
+            raise ReproError(
+                f"sweep spans {len(sets)} override sets; pass overrides= "
+                "to choose which one to aggregate"
+            )
+        overrides = sets[0]
+    baseline = sweep.baselines()
+    if not baseline:
+        raise ReproError(
+            "sweep has no baseline runs; expand the spec with "
+            "include_baseline=True to aggregate slowdowns"
+        )
+    table = sweep.results_by_variant(overrides=overrides)
+    table.pop(BASELINE, None)
+    if not table:
+        raise ReproError(
+            f"sweep has no variant runs for override set {overrides!r}"
+        )
+    return VariantComparison(
+        workloads=list(sweep.spec.workload_names),
+        baseline=baseline,
+        results=table,
+    )
+
+
+def mean_slowdown_by_override(
+    sweep, variant_name: str, baseline: dict
+) -> dict[Overrides, float]:
+    """Mean slowdown of ``variant_name`` per override set, against an
+    externally supplied baseline map (workload → result).
+
+    Used by sensitivity sweeps (e.g. Figure 17) whose baseline is shared
+    across override sets because overrides only alter the defense.
+    """
+    means: dict[Overrides, float] = {}
+    for overrides in sweep.spec.overrides:
+        runs = sweep.results_by_variant(overrides=overrides).get(variant_name)
+        if runs is None:
+            raise ReproError(
+                f"sweep has no {variant_name!r} runs for override set "
+                f"{overrides!r}"
+            )
+        values = [
+            run.slowdown_pct_vs(baseline[name]) for name, run in runs.items()
+        ]
+        means[overrides] = sum(values) / len(values)
+    return means

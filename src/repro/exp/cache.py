@@ -1,0 +1,107 @@
+"""Content-addressed on-disk result store.
+
+Completed simulations are appended to a JSONL file, one
+``{"key": <sha256>, "payload": <result dict>}`` object per line.  The
+append-only layout makes interrupted sweeps resumable for free: every
+finished job is durable the moment its line hits the disk, and the next
+sweep simply skips keys it finds here.
+
+Robustness contract: loading **never** fails because of a damaged cache.
+A truncated final line (killed mid-write), garbage bytes, or a
+well-formed line with the wrong shape are each skipped individually; the
+corresponding jobs just become cache misses and re-simulate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: Subdirectory used under the user cache root when no directory is given.
+CACHE_SUBDIR = "qprac-repro"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME`` or ``~/.cache``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    root = Path(xdg) if xdg else Path.home() / ".cache"
+    return root / CACHE_SUBDIR
+
+
+class ResultStore:
+    """Durable key → payload map over an append-only JSONL file."""
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.directory = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.path = self.directory / "results.jsonl"
+        self._index: dict[str, dict] = {}
+        #: Damaged lines skipped during the initial load.
+        self.skipped_lines = 0
+        #: get() bookkeeping, reset per store instance.
+        self.hits = 0
+        self.misses = 0
+        #: True when the file ends mid-line (crash during an append); the
+        #: next put() must start on a fresh line or it merges with the
+        #: partial record and corrupts itself too.
+        self._needs_newline = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        # Decode permissively: invalid UTF-8 (disk corruption, a crash
+        # mid-multibyte-write) must degrade to skipped lines, not abort.
+        text = self.path.read_bytes().decode("utf-8", errors="replace")
+        self._needs_newline = bool(text) and not text.endswith("\n")
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.skipped_lines += 1
+                continue
+            if (
+                not isinstance(record, dict)
+                or not isinstance(record.get("key"), str)
+                or not isinstance(record.get("payload"), dict)
+            ):
+                self.skipped_lines += 1
+                continue
+            # Last write wins, so re-runs after code changes stay correct
+            # even if an old record shares a key (it cannot, but cheap).
+            self._index[record["key"]] = record["payload"]
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def get(self, key: str) -> dict | None:
+        """Payload for ``key`` or ``None``; counts a hit or a miss."""
+        payload = self._index.get(key)
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Record a result durably (appended before the index updates)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"key": key, "payload": payload}, sort_keys=True)
+        with self.path.open("a") as handle:
+            if self._needs_newline:
+                handle.write("\n")
+                self._needs_newline = False
+            handle.write(line + "\n")
+        self._index[key] = payload

@@ -1,0 +1,229 @@
+"""Sweep execution: cache lookup, parallel dispatch, aggregation.
+
+:func:`run_sweep` is the orchestrator's entry point.  It expands a
+:class:`~repro.exp.spec.SweepSpec`, satisfies whatever it can from the
+:class:`~repro.exp.cache.ResultStore`, executes the remainder — in
+process for ``jobs=1``, on a ``ProcessPoolExecutor`` with chunked
+dispatch otherwise — and returns a :class:`SweepResult` whose outcomes
+are always in spec-expansion order.
+
+Determinism: workers return results through the same dict serialization
+used by the cache, and outcomes are reassembled positionally, so a
+``jobs=4`` sweep aggregates byte-identically to ``jobs=1`` (and to a
+fully cached replay).
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cpu.system import SystemResult
+from repro.errors import ReproError
+from repro.exp.cache import ResultStore
+from repro.exp.serialize import result_from_dict, result_to_dict
+from repro.exp.spec import Job, Overrides, SweepSpec, overrides_label
+
+ProgressFn = Callable[[str], None]
+
+
+def execute_job(job: Job) -> dict:
+    """Run one job to completion; returns the serialized result payload.
+
+    Module-level so it pickles cleanly into worker processes.  Both the
+    serial and the parallel path route results through this dict form —
+    the single canonical representation shared with the cache.
+    """
+    from repro.sim.runner import simulate_baseline, simulate_workload
+
+    if job.variant is None:
+        result = simulate_baseline(
+            job.workload, config=job.config,
+            n_entries=job.n_entries, seed=job.seed,
+        )
+    else:
+        result = simulate_workload(
+            job.workload, config=job.config, variant=job.variant,
+            n_entries=job.n_entries, seed=job.seed,
+        )
+    return result_to_dict(result)
+
+
+def execute_chunk(chunk: list[Job]) -> list[dict]:
+    """Worker entry point: run a batch of jobs, return their payloads."""
+    return [execute_job(job) for job in chunk]
+
+
+@dataclass
+class JobOutcome:
+    """One finished job: where its result came from and what it was."""
+
+    job: Job
+    result: SystemResult
+    from_cache: bool
+
+
+@dataclass
+class SweepResult:
+    """All outcomes of one sweep, in spec-expansion order."""
+
+    spec: SweepSpec
+    outcomes: list[JobOutcome]
+    cache_hits: int
+    executed: int
+    elapsed_s: float
+
+    @property
+    def total_jobs(self) -> int:
+        return len(self.outcomes)
+
+    def baselines(self) -> dict[str, SystemResult]:
+        """Baseline runs by workload (shared across all override sets)."""
+        return {
+            o.job.workload.name: o.result
+            for o in self.outcomes
+            if o.job.variant is None
+        }
+
+    def results_by_variant(
+        self, overrides: Overrides = ()
+    ) -> dict[str, dict[str, SystemResult]]:
+        """``{variant_name: {workload: result}}`` for one override set."""
+        table: dict[str, dict[str, SystemResult]] = {}
+        for outcome in self.outcomes:
+            if outcome.job.overrides != overrides:
+                continue
+            per_workload = table.setdefault(outcome.job.variant_name, {})
+            per_workload[outcome.job.workload.name] = outcome.result
+        if not table:
+            raise ReproError(
+                f"no results for override set {overrides_label(overrides)!r}"
+            )
+        return table
+
+    def comparison(self, overrides: Overrides | None = None):
+        """Reconstitute a :class:`~repro.sim.runner.VariantComparison`.
+
+        ``overrides=None`` resolves to the spec's only override set (the
+        common case); multi-set sweeps must name one.
+        """
+        from repro.exp.aggregate import comparison_from_sweep
+
+        return comparison_from_sweep(self, overrides=overrides)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    store: ResultStore | None = None,
+    progress: ProgressFn | None = None,
+) -> SweepResult:
+    """Execute a sweep, reusing cached results where available.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs everything in
+        process — no executor, no pickling of configs beyond the shared
+        dict round-trip.
+    store:
+        Result cache.  ``None`` disables caching entirely: every job is
+        simulated and nothing is persisted.
+    progress:
+        Callback receiving one human-readable line per completed job.
+    """
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    started = time.perf_counter()
+    expanded = spec.expand()
+    total = len(expanded)
+    payloads: list[dict | None] = [None] * total
+    cached: list[bool] = [False] * total
+    completed = 0
+
+    pending: list[int] = []
+    keys: list[str | None] = [None] * total
+    for index, job in enumerate(expanded):
+        if store is not None:
+            keys[index] = job.cache_key()
+            payload = store.get(keys[index])
+            if payload is not None:
+                payloads[index] = payload
+                cached[index] = True
+                completed += 1
+                _report(progress, completed, total, job, cached=True)
+                continue
+        pending.append(index)
+
+    def finish(index: int, payload: dict) -> None:
+        nonlocal completed
+        payloads[index] = payload
+        if store is not None:
+            assert keys[index] is not None
+            store.put(keys[index], payload)
+        completed += 1
+        _report(progress, completed, total, expanded[index], cached=False)
+
+    if jobs == 1 or len(pending) <= 1:
+        for index in pending:
+            finish(index, execute_job(expanded[index]))
+    else:
+        workers = min(jobs, len(pending))
+        # Chunked dispatch amortises pickling without starving workers:
+        # aim for ~4 chunks per worker.  Chunks are consumed as they
+        # complete (not in submission order) so every finished result is
+        # persisted to the store immediately — an interrupted sweep
+        # resumes from whatever actually ran, not from a prefix.
+        chunksize = max(1, math.ceil(len(pending) / (workers * 4)))
+        chunks = [
+            pending[start:start + chunksize]
+            for start in range(0, len(pending), chunksize)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    execute_chunk, [expanded[i] for i in chunk]
+                ): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                for index, payload in zip(futures[future], future.result()):
+                    finish(index, payload)
+
+    outcomes = [
+        JobOutcome(
+            job=job,
+            result=result_from_dict(payload),  # type: ignore[arg-type]
+            from_cache=was_cached,
+        )
+        for job, payload, was_cached in zip(expanded, payloads, cached)
+    ]
+    return SweepResult(
+        spec=spec,
+        outcomes=outcomes,
+        cache_hits=sum(cached),
+        executed=len(pending),
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def stderr_progress(line: str) -> None:
+    """Default CLI progress sink (stderr keeps stdout machine-readable)."""
+    print(line, file=sys.stderr)
+
+
+def _report(
+    progress: ProgressFn | None, completed: int, total: int, job: Job,
+    cached: bool,
+) -> None:
+    """Emit one progress line; ``completed`` is a monotonic done-count
+    (jobs finish out of submission order under parallel dispatch)."""
+    if progress is None:
+        return
+    tag = overrides_label(job.overrides)
+    source = "cached" if cached else "simulated"
+    progress(f"[{completed}/{total}] {job.label} ({tag}) {source}")

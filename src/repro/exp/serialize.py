@@ -1,0 +1,136 @@
+"""Stable (de)serialization for sweep jobs and simulation results.
+
+The experiment orchestrator needs two guarantees this module provides:
+
+* **Content addressing** — a :class:`~repro.exp.spec.Job` must map to the
+  same cache key on every machine and every run, and any change to the
+  simulated configuration (or to the simulator's own code) must change
+  the key.  :func:`canonical_json` gives a byte-stable encoding,
+  :func:`code_version_salt` folds the simulator sources into the key.
+* **Lossless result round-trips** — a
+  :class:`~repro.cpu.system.SystemResult` must survive the JSONL cache
+  and the worker-process boundary byte-for-byte, so a cached sweep and a
+  parallel sweep aggregate identically to a fresh serial one.  Python's
+  ``json`` encodes floats via ``repr``, which round-trips IEEE doubles
+  exactly, so :func:`result_from_dict(result_to_dict(r))
+  <result_from_dict>` reproduces every metric bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from functools import lru_cache
+from pathlib import Path
+
+from repro.core.defense import MitigationReason
+from repro.cpu.system import SystemResult
+from repro.params import SystemConfig
+from repro.workloads.synthetic import WorkloadSpec
+
+#: Bump when the cached payload layout changes; old rows become misses.
+SCHEMA_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def environment_fingerprint() -> dict:
+    """Runtime facts the simulation's output depends on.
+
+    Trace generation draws from ``numpy.random.Generator`` streams, whose
+    bit patterns NumPy may change between releases (NEP 19), so cached
+    results must not survive a numpy (or Python minor-version) upgrade.
+    """
+    import sys
+
+    import numpy
+
+    return {
+        "numpy": numpy.__version__,
+        "python": ".".join(str(v) for v in sys.version_info[:2]),
+    }
+
+
+def _plain(value: object) -> object:
+    """Recursively convert dataclasses/enums/tuples to JSON-able types."""
+    if isinstance(value, Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, enums by value."""
+    return json.dumps(_plain(obj), sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(config: SystemConfig) -> dict:
+    """Full configuration as plain data (every field feeds the cache key)."""
+    return _plain(config)  # type: ignore[return-value]
+
+
+def workload_fingerprint(spec: WorkloadSpec) -> dict:
+    """Workload parameters as plain data (traces derive from these + seed)."""
+    return _plain(spec)  # type: ignore[return-value]
+
+
+#: Subtrees / top-level modules of the ``repro`` package that a
+#: simulation's output actually depends on.  Orchestration (``exp``),
+#: reporting (``analysis``), the CLI, and the post-hoc models
+#: (``energy``, ``security``) are deliberately absent: editing them must
+#: not invalidate cached simulation results.  Payload-layout changes are
+#: covered by :data:`SCHEMA_VERSION` instead.
+SIMULATION_SOURCES = (
+    "controller", "core", "cpu", "dram", "sim", "workloads",
+    "engine.py", "errors.py", "params.py",
+)
+
+
+@lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """Digest of the simulator sources that determine simulation output.
+
+    Hashes every ``.py`` file under :data:`SIMULATION_SOURCES` in the
+    installed ``repro`` package.  Editing any model file invalidates all
+    cached results — the safe behaviour — while edits to orchestration,
+    reporting or CLI code leave the cache warm.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root)
+        if relative.parts[0] not in SIMULATION_SOURCES:
+            continue
+        digest.update(str(relative).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def result_to_dict(result: SystemResult) -> dict:
+    """Serialize a :class:`SystemResult` to a JSON-able dict."""
+    payload = dataclasses.asdict(result)
+    payload["mitigations"] = {
+        reason.value: count for reason, count in result.mitigations.items()
+    }
+    return payload
+
+
+def result_from_dict(payload: dict) -> SystemResult:
+    """Reconstruct a :class:`SystemResult` from :func:`result_to_dict`."""
+    data = dict(payload)
+    data["mitigations"] = {
+        MitigationReason(name): count
+        for name, count in data.get("mitigations", {}).items()
+    }
+    return SystemResult(**data)

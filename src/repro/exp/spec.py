@@ -1,0 +1,231 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names a grid of simulations — workloads × variants ×
+PRAC config overrides — and expands it into a deterministic list of
+:class:`Job` s.  Jobs are plain frozen dataclasses: picklable (so they
+cross the worker-process boundary), individually seeded, and content
+addressed (:meth:`Job.cache_key` hashes everything that determines the
+simulation's output, including the simulator's own code version).
+
+Expansion order is part of the contract: ``expand()`` returns the same
+jobs in the same order for the same spec, so aggregated sweep output is
+reproducible regardless of how many worker processes execute it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.params import MitigationVariant, PRACParams, SystemConfig, default_config
+from repro.exp.serialize import (
+    SCHEMA_VERSION,
+    canonical_json,
+    code_version_salt,
+    config_fingerprint,
+    environment_fingerprint,
+    workload_fingerprint,
+)
+from repro.workloads.suites import workload as lookup_workload
+from repro.workloads.synthetic import WorkloadSpec
+
+#: Sentinel variant name for the paper's non-secure baseline runs.
+BASELINE = "baseline"
+
+_PRAC_FIELDS = frozenset(f.name for f in dataclasses.fields(PRACParams))
+
+Overrides = tuple[tuple[str, object], ...]
+
+
+def _normalize_overrides(overrides: Mapping[str, object] | Overrides) -> Overrides:
+    items = sorted(dict(overrides).items())
+    for key, _value in items:
+        if key not in _PRAC_FIELDS:
+            raise ConfigError(
+                f"unknown PRAC override {key!r}; valid keys: "
+                f"{', '.join(sorted(_PRAC_FIELDS))}"
+            )
+    return tuple(items)
+
+
+def overrides_label(overrides: Overrides) -> str:
+    """Human-readable tag for one override set (``"-"`` when empty)."""
+    if not overrides:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in overrides)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One fully-specified simulation: the unit of dispatch and caching."""
+
+    workload: WorkloadSpec
+    #: A QPRAC policy variant, or ``None`` for the non-secure baseline.
+    variant: MitigationVariant | None
+    #: PRAC overrides already folded into ``config`` (kept for labelling).
+    overrides: Overrides
+    #: Effective configuration (overrides and variant applied).
+    config: SystemConfig
+    n_entries: int
+    seed: int
+
+    @property
+    def variant_name(self) -> str:
+        return BASELINE if self.variant is None else self.variant.value
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload.name}/{self.variant_name}"
+
+    def cache_key(self) -> str:
+        """Content address: hash of every input that shapes the result.
+
+        Includes a salt over the simulator sources
+        (:func:`~repro.exp.serialize.code_version_salt`) so stale results
+        are never served across code changes, and the payload schema
+        version so layout changes invalidate cleanly.
+        """
+        identity = {
+            "schema": SCHEMA_VERSION,
+            "code": code_version_salt(),
+            "env": environment_fingerprint(),
+            "workload": workload_fingerprint(self.workload),
+            "variant": self.variant_name,
+            "config": config_fingerprint(self.config),
+            "n_entries": self.n_entries,
+            "seed": self.seed,
+        }
+        return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A workloads × variants × overrides grid, expanded into jobs.
+
+    Parameters
+    ----------
+    workloads:
+        Workload names (resolved against the 57-workload suite) or
+        explicit :class:`WorkloadSpec` objects.
+    variants:
+        QPRAC policy variants to run for every workload.
+    overrides:
+        PRAC parameter override sets; each dict is one grid axis value
+        (``({},)`` — the default — runs the config as given).
+    include_baseline:
+        Also run the non-secure baseline once per workload × override set
+        (required to aggregate slowdowns).
+    seed:
+        Base seed.  Every expanded job carries its own explicit seed,
+        derived deterministically (currently the base seed itself — trace
+        generation further mixes in the workload name and core index, so
+        distinct jobs never share a trace stream).
+    """
+
+    workloads: tuple[WorkloadSpec, ...]
+    variants: tuple[MitigationVariant, ...]
+    overrides: tuple[Overrides, ...] = ((),)
+    config: SystemConfig = field(default_factory=default_config)
+    include_baseline: bool = True
+    n_entries: int = 20_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "workloads",
+            tuple(
+                w if isinstance(w, WorkloadSpec) else lookup_workload(w)
+                for w in self.workloads
+            ),
+        )
+        object.__setattr__(
+            self,
+            "variants",
+            tuple(
+                v if isinstance(v, MitigationVariant) else MitigationVariant(v)
+                for v in self.variants
+            ),
+        )
+        object.__setattr__(
+            self,
+            "overrides",
+            tuple(_normalize_overrides(o) for o in self.overrides),
+        )
+        if not self.workloads:
+            raise ConfigError("a sweep needs at least one workload")
+        names = [w.name for w in self.workloads]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigError(
+                f"duplicate workloads in sweep: {', '.join(dupes)}"
+            )
+        if not self.variants and not self.include_baseline:
+            raise ConfigError("a sweep needs variants or the baseline")
+        if not self.overrides:
+            raise ConfigError("overrides must contain at least one set "
+                              "(use ({},) for none)")
+        if self.n_entries < 1:
+            raise ConfigError("n_entries must be >= 1")
+
+    @property
+    def workload_names(self) -> tuple[str, ...]:
+        return tuple(w.name for w in self.workloads)
+
+    def job_seed(self, workload: WorkloadSpec, variant_name: str) -> int:
+        """Deterministic per-job seed (see class docstring)."""
+        del workload, variant_name
+        return self.seed
+
+    def expand(self) -> list[Job]:
+        """Materialise the grid, in stable (override, workload, variant)
+        order with each workload's baseline first.
+
+        Baselines are emitted once per workload, from the *un-overridden*
+        config: overrides are restricted to PRAC parameters, which only
+        shape the defense — a baseline (no-defense) run is identical
+        under every set, so one simulation (and one cache key, shared by
+        sweeps over different override grids) serves them all.
+        """
+        jobs: list[Job] = []
+        for set_index, overrides in enumerate(self.overrides):
+            base = self.config.with_prac(**dict(overrides))
+            for workload in self.workloads:
+                if self.include_baseline and set_index == 0:
+                    jobs.append(Job(
+                        workload=workload,
+                        variant=None,
+                        overrides=(),
+                        config=self.config,
+                        n_entries=self.n_entries,
+                        seed=self.job_seed(workload, BASELINE),
+                    ))
+                for variant in self.variants:
+                    jobs.append(Job(
+                        workload=workload,
+                        variant=variant,
+                        overrides=overrides,
+                        config=base.with_variant(variant),
+                        n_entries=self.n_entries,
+                        seed=self.job_seed(workload, variant.value),
+                    ))
+        return jobs
+
+    @classmethod
+    def build(
+        cls,
+        workloads: Sequence[str | WorkloadSpec],
+        variants: Iterable[MitigationVariant | str],
+        overrides: Sequence[Mapping[str, object]] = ({},),
+        **kwargs: object,
+    ) -> "SweepSpec":
+        """Convenience constructor accepting plain lists/dicts."""
+        return cls(
+            workloads=tuple(workloads),
+            variants=tuple(variants),
+            overrides=tuple(_normalize_overrides(o) for o in overrides),
+            **kwargs,  # type: ignore[arg-type]
+        )

@@ -143,25 +143,26 @@ def run_variant_comparison(
     config: SystemConfig | None = None,
     n_entries: int = DEFAULT_ENTRIES,
     seed: int = 0,
+    jobs: int = 1,
+    store=None,
 ) -> VariantComparison:
-    """Figure 14/15 style sweep: all variants over a workload list."""
-    config = config or default_config()
-    specs = [_resolve_spec(w) for w in workloads]
-    names = [s.name for s in specs]
-    comparison = VariantComparison(workloads=names, baseline={})
-    for spec in specs:
-        comparison.baseline[spec.name] = simulate_baseline(
-            spec, config=config, n_entries=n_entries, seed=seed
-        )
-    for variant in variants:
-        per_workload: dict[str, SystemResult] = {}
-        for spec in specs:
-            per_workload[spec.name] = simulate_workload(
-                spec,
-                config=config,
-                variant=variant,
-                n_entries=n_entries,
-                seed=seed,
-            )
-        comparison.results[variant.value] = per_workload
-    return comparison
+    """Figure 14/15 style sweep: all variants over a workload list.
+
+    Routed through the :mod:`repro.exp` orchestrator: ``jobs`` fans the
+    grid out over worker processes, and passing a
+    :class:`~repro.exp.cache.ResultStore` as ``store`` reuses (and
+    persists) results across invocations.  Output is identical at every
+    ``jobs`` value.
+    """
+    # Imported here: repro.exp builds on this module's simulate_* calls.
+    from repro.exp import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        workloads=tuple(_resolve_spec(w) for w in workloads),
+        variants=tuple(variants),
+        config=config or default_config(),
+        include_baseline=True,
+        n_entries=n_entries,
+        seed=seed,
+    )
+    return run_sweep(spec, jobs=jobs, store=store).comparison()

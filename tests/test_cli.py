@@ -32,6 +32,30 @@ class TestParser:
         assert args.nbo_value == 64
         assert args.n_mit == 2
 
+    def test_sweep_requires_workloads(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "429.mcf", "541.leela", "--variants", "qprac",
+             "--jobs", "4", "--entries", "200", "--cache-dir", "/tmp/c",
+             "--seed", "3", "--quiet"]
+        )
+        assert args.workloads == ["429.mcf", "541.leela"]
+        assert args.variants == ["qprac"]
+        assert args.jobs == 4
+        assert args.entries == 200
+        assert args.cache_dir == "/tmp/c"
+        assert args.seed == 3
+        assert args.quiet and not args.no_cache
+
+    def test_sweep_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "429.mcf", "--variants", "nonsense"]
+            )
+
 
 class TestCommands:
     def test_security(self, capsys):
@@ -66,6 +90,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "qprac-noop" in out
         assert "541.leela" in out
+
+    def test_sweep_tiny_run_then_cached_rerun(self, capsys, tmp_path):
+        argv = ["sweep", "541.leela", "--variants", "qprac", "--entries",
+                "400", "--cache-dir", str(tmp_path), "--quiet"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated, 0 from cache" in out
+        # The identical invocation must complete without simulating.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated, 2 from cache" in out
+        assert "541.leela" in out
+
+    def test_sweep_no_cache(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "mb-adpcm", "--variants", "qprac", "--entries", "300",
+             "--no-cache", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache disabled" in out
 
 
 def test_write_csv(tmp_path):

@@ -1,0 +1,116 @@
+"""Tests for the content-addressed result store."""
+
+from __future__ import annotations
+
+import json
+
+from repro.exp import ResultStore
+from repro.exp.cache import CACHE_DIR_ENV, default_cache_dir
+
+
+class TestHitMiss:
+    def test_empty_store_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("deadbeef") is None
+        assert (store.hits, store.misses) == (0, 1)
+
+    def test_put_then_get_hits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", {"acts": 7})
+        assert store.get("k1") == {"acts": 7}
+        assert (store.hits, store.misses) == (1, 0)
+        assert "k1" in store and len(store) == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultStore(tmp_path).put("k1", {"acts": 7})
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("k1") == {"acts": 7}
+
+    def test_distinct_keys_are_independent(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", {"v": 1})
+        store.put("k2", {"v": 2})
+        assert store.get("k1") == {"v": 1}
+        assert store.get("k2") == {"v": 2}
+
+
+class TestCorruptionTolerance:
+    def test_truncated_line_is_skipped_not_fatal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("good1", {"v": 1})
+        store.put("good2", {"v": 2})
+        # Simulate a crash mid-append: chop the final line in half.
+        text = store.path.read_text()
+        store.path.write_text(text[: len(text) - 12])
+        reopened = ResultStore(tmp_path)
+        assert reopened.skipped_lines == 1
+        assert reopened.get("good1") == {"v": 1}
+        assert reopened.get("good2") is None  # the damaged row: a miss
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("good", {"v": 1})
+        with store.path.open("a") as handle:
+            handle.write("not json at all\n")
+            handle.write(json.dumps(["wrong", "shape"]) + "\n")
+            handle.write(json.dumps({"key": 5, "payload": {}}) + "\n")
+            handle.write(json.dumps({"key": "no-payload"}) + "\n")
+        reopened = ResultStore(tmp_path)
+        assert reopened.skipped_lines == 4
+        assert reopened.get("good") == {"v": 1}
+
+    def test_non_utf8_bytes_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("good", {"v": 1})
+        with store.path.open("ab") as handle:
+            handle.write(b"\xff\xfe binary junk \xff\n")
+        reopened = ResultStore(tmp_path)
+        assert reopened.skipped_lines == 1
+        assert reopened.get("good") == {"v": 1}
+
+    def test_blank_lines_ignored_silently(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("good", {"v": 1})
+        with store.path.open("a") as handle:
+            handle.write("\n\n")
+        reopened = ResultStore(tmp_path)
+        assert reopened.skipped_lines == 0
+        assert reopened.get("good") == {"v": 1}
+
+    def test_append_after_truncation_starts_a_fresh_line(self, tmp_path):
+        # A crash mid-append leaves the file without a final newline; the
+        # next put() must not glue its record onto the partial line.
+        store = ResultStore(tmp_path)
+        store.put("good", {"v": 1})
+        text = store.path.read_text()
+        store.path.write_text(text + '{"key": "half-writ')
+        damaged = ResultStore(tmp_path)
+        assert damaged.skipped_lines == 1
+        damaged.put("new", {"v": 2})
+        reopened = ResultStore(tmp_path)
+        assert reopened.skipped_lines == 1
+        assert reopened.get("good") == {"v": 1}
+        assert reopened.get("new") == {"v": 2}
+
+    def test_writes_still_work_after_corrupt_load(self, tmp_path):
+        (tmp_path / "results.jsonl").write_text("garbage\n")
+        store = ResultStore(tmp_path)
+        store.put("k", {"v": 9})
+        assert ResultStore(tmp_path).get("k") == {"v": 9}
+
+
+class TestDefaultDirectory:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"
+
+    def test_xdg_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "qprac-repro"
+
+    def test_lazy_directory_creation(self, tmp_path):
+        store = ResultStore(tmp_path / "nested" / "deep")
+        assert not store.path.exists()
+        store.put("k", {})
+        assert store.path.exists()

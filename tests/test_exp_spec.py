@@ -1,0 +1,148 @@
+"""Tests for sweep specification expansion and content addressing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.exp import BASELINE, SweepSpec, overrides_label
+from repro.params import MitigationVariant, default_config
+
+
+def make_spec(**kwargs):
+    defaults = dict(
+        workloads=("541.leela", "429.mcf"),
+        variants=(MitigationVariant.QPRAC, MitigationVariant.QPRAC_NOOP),
+        n_entries=500,
+    )
+    defaults.update(kwargs)
+    return SweepSpec.build(
+        defaults.pop("workloads"), defaults.pop("variants"), **defaults
+    )
+
+
+class TestExpansion:
+    def test_grid_size_and_order(self):
+        spec = make_spec()
+        jobs = spec.expand()
+        # 2 workloads x (baseline + 2 variants).
+        assert len(jobs) == 6
+        assert [j.label for j in jobs] == [
+            "541.leela/baseline",
+            "541.leela/qprac",
+            "541.leela/qprac-noop",
+            "429.mcf/baseline",
+            "429.mcf/qprac",
+            "429.mcf/qprac-noop",
+        ]
+
+    def test_expansion_is_deterministic(self):
+        spec = make_spec()
+        assert spec.expand() == spec.expand()
+
+    def test_no_baseline(self):
+        jobs = make_spec(include_baseline=False).expand()
+        assert all(j.variant is not None for j in jobs)
+        assert len(jobs) == 4
+
+    def test_overrides_axis(self):
+        spec = make_spec(
+            workloads=("541.leela",),
+            variants=(MitigationVariant.QPRAC,),
+            overrides=({"psq_size": 1}, {"psq_size": 3}),
+            include_baseline=False,
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 2
+        assert jobs[0].config.prac.psq_size == 1
+        assert jobs[1].config.prac.psq_size == 3
+        assert overrides_label(jobs[1].overrides) == "psq_size=3"
+
+    def test_baseline_emitted_once_across_override_sets(self):
+        spec = make_spec(
+            workloads=("541.leela",),
+            variants=(MitigationVariant.QPRAC,),
+            overrides=({"psq_size": 1}, {"psq_size": 3}),
+        )
+        jobs = spec.expand()
+        # Overrides only alter the defense: 1 shared baseline + 2 variants.
+        assert len(jobs) == 3
+        assert sum(1 for j in jobs if j.variant is None) == 1
+
+    def test_variant_applied_to_config(self):
+        jobs = make_spec().expand()
+        assert jobs[0].variant is None
+        assert jobs[0].variant_name == BASELINE
+        assert jobs[1].config.variant is MitigationVariant.QPRAC
+
+    def test_string_variants_resolved(self):
+        spec = SweepSpec.build(["541.leela"], ["qprac"], n_entries=100)
+        assert spec.variants == (MitigationVariant.QPRAC,)
+
+    def test_unknown_override_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown PRAC override"):
+            make_spec(overrides=({"not_a_knob": 1},))
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec.build([], [MitigationVariant.QPRAC])
+
+    def test_duplicate_workloads_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate workloads"):
+            make_spec(workloads=("429.mcf", "429.mcf"))
+
+    def test_key_includes_environment(self):
+        from repro.exp.serialize import environment_fingerprint
+
+        env = environment_fingerprint()
+        assert set(env) == {"numpy", "python"}
+        assert all(isinstance(v, str) and v for v in env.values())
+
+
+class TestCacheKey:
+    def test_key_is_stable_across_expansions(self):
+        a = make_spec().expand()
+        b = make_spec().expand()
+        assert [j.cache_key() for j in a] == [j.cache_key() for j in b]
+
+    def test_keys_are_unique_within_a_sweep(self):
+        keys = [j.cache_key() for j in make_spec().expand()]
+        assert len(set(keys)) == len(keys)
+
+    def test_key_changes_with_overrides(self):
+        plain = make_spec(
+            include_baseline=False, variants=(MitigationVariant.QPRAC,),
+            workloads=("541.leela",),
+        ).expand()[0]
+        overridden = make_spec(
+            include_baseline=False, variants=(MitigationVariant.QPRAC,),
+            workloads=("541.leela",), overrides=({"psq_size": 2},),
+        ).expand()[0]
+        assert plain.cache_key() != overridden.cache_key()
+
+    def test_key_changes_with_entries_and_seed(self):
+        base = make_spec().expand()[0]
+        more = make_spec(n_entries=501).expand()[0]
+        reseeded = make_spec(seed=7).expand()[0]
+        assert base.cache_key() != more.cache_key()
+        assert base.cache_key() != reseeded.cache_key()
+
+    def test_salt_covers_only_simulation_sources(self):
+        from repro.exp import code_version_salt
+        from repro.exp.serialize import SIMULATION_SOURCES
+
+        # Orchestration/reporting/CLI edits must leave the cache warm.
+        for non_model in ("exp", "analysis", "cli.py", "energy", "security"):
+            assert non_model not in SIMULATION_SOURCES
+        # Trace generation and the device model must invalidate it.
+        for model in ("workloads", "sim", "core", "params.py"):
+            assert model in SIMULATION_SOURCES
+        assert len(code_version_salt()) == 64
+        assert code_version_salt() == code_version_salt()
+
+    def test_key_changes_with_config(self):
+        base = make_spec().expand()[0]
+        other = make_spec(
+            config=default_config().with_prac(n_bo=64)
+        ).expand()[0]
+        assert base.cache_key() != other.cache_key()
