@@ -108,7 +108,7 @@ def baselines(config):
 
     spec = SweepSpec(
         workloads=bench_workloads(),
-        variants=(),
+        defenses=(),
         config=config,
         include_baseline=True,
         n_entries=bench_entries(),
@@ -125,7 +125,7 @@ def variant_runs(config):
 
     spec = SweepSpec(
         workloads=bench_workloads(),
-        variants=EVALUATED_VARIANTS,
+        defenses=EVALUATED_VARIANTS,
         config=config,
         include_baseline=False,
         n_entries=bench_entries(),

@@ -2,14 +2,18 @@
 
 Paper: QPRAC 2.3% at N_BO=16 falling to <=0.8% at 32+; the proactive
 variants <=0.3% at 16 and 0% at 32+.
+
+Routed through the :mod:`repro.exp` orchestrator: one DefenseSpec-keyed
+sweep over variants x N_BO override sets, parallel with
+``REPRO_BENCH_JOBS`` and fully cached under ``REPRO_BENCH_CACHE``.
 """
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_workloads, emit_table
+from conftest import bench_entries, bench_workloads, bench_sweep, emit_table
 
+from repro.exp import SweepSpec, mean_slowdown_by_override
 from repro.params import MitigationVariant
-from repro.sim import simulate_workload
 
 VARIANTS = (
     MitigationVariant.QPRAC,
@@ -17,29 +21,35 @@ VARIANTS = (
     MitigationVariant.QPRAC_PROACTIVE_EA,
 )
 
+NBO_VALUES = (16, 32, 64, 128)
+
 
 def test_fig18_nbo_sensitivity(benchmark, config, baselines):
     names = list(bench_workloads())[:3]
     entries = bench_entries()
 
     def build():
+        spec = SweepSpec(
+            workloads=tuple(names),
+            defenses=VARIANTS,
+            overrides=tuple({"n_bo": n_bo} for n_bo in NBO_VALUES),
+            config=config,
+            include_baseline=False,
+            n_entries=entries,
+        )
+        sweep = bench_sweep(spec)
         table = {}
-        for n_bo in (16, 32, 64, 128):
-            cfg = config.with_prac(n_bo=n_bo)
-            for variant in VARIANTS:
-                slow = []
-                for name in names:
-                    run = simulate_workload(
-                        name, config=cfg, variant=variant, n_entries=entries
-                    )
-                    slow.append(run.slowdown_pct_vs(baselines[name]))
-                table[(n_bo, variant)] = sum(slow) / len(slow)
+        for variant in VARIANTS:
+            means = mean_slowdown_by_override(sweep, variant.value, baselines)
+            for overrides, mean in means.items():
+                n_bo = dict(overrides)["n_bo"]
+                table[(n_bo, variant)] = mean
         return table
 
     table = benchmark.pedantic(build, rounds=1, iterations=1)
     rows = [
         [n_bo] + [round(table[(n_bo, v)], 2) for v in VARIANTS]
-        for n_bo in (16, 32, 64, 128)
+        for n_bo in NBO_VALUES
     ]
     emit_table(
         "fig18",
@@ -47,7 +57,7 @@ def test_fig18_nbo_sensitivity(benchmark, config, baselines):
         ["N_BO"] + [v.value for v in VARIANTS],
         rows,
     )
-    qprac = {n_bo: table[(n_bo, MitigationVariant.QPRAC)] for n_bo in (16, 32, 64, 128)}
+    qprac = {n_bo: table[(n_bo, MitigationVariant.QPRAC)] for n_bo in NBO_VALUES}
     # Lower thresholds cost more; >=32 is cheap.
     assert qprac[16] >= qprac[32] - 0.1
     assert qprac[32] < 1.5 and qprac[64] < 1.0 and qprac[128] < 1.0

@@ -4,52 +4,58 @@ Paper: at T_RH <= 512 both baselines degrade badly (Mithril 69%..10%,
 PrIDE 54%..7% slowdown from T_RH 64..512) while QPRAC+Proactive-EA stays
 at ~0% everywhere; all schemes converge near zero at T_RH = 1024.
 Mithril additionally needs a ~5300-entry CAM per bank vs QPRAC's 5.
+
+One :mod:`repro.exp` sweep over a mixed defense grid: every
+``mithril:t_rh=N`` / ``pride:t_rh=N`` point and the QPRAC reference are
+DefenseSpec-labeled jobs in the same cached, parallel run.
 """
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_workloads, emit_series
+from conftest import bench_entries, bench_workloads, bench_sweep, emit_series
 
-from repro.mitigations import mithril_factory, pride_factory
+from repro.defenses import DefenseSpec
+from repro.exp import SweepSpec, mean_slowdown_by_override
 from repro.params import MitigationVariant
-from repro.sim import simulate_workload
 
 TRH_VALUES = (64, 256, 1024)
+
+QPRAC_EA = MitigationVariant.QPRAC_PROACTIVE_EA.value
 
 
 def test_fig20_vs_mithril_and_pride(benchmark, config, baselines):
     names = list(bench_workloads())[:3]
     entries = bench_entries()
+    defenses = tuple(
+        DefenseSpec.of(kind, t_rh=t_rh)
+        for t_rh in TRH_VALUES
+        for kind in ("mithril", "pride")
+    ) + (QPRAC_EA,)
 
     def build():
+        spec = SweepSpec(
+            workloads=tuple(names),
+            defenses=defenses,
+            config=config,
+            include_baseline=False,
+            n_entries=entries,
+        )
+        sweep = bench_sweep(spec)
+
+        def mean_slowdown(label: str) -> float:
+            return mean_slowdown_by_override(sweep, label, baselines)[()]
+
+        # QPRAC's N_BO=32 config defends T_RH 66+ regardless of the sweep
+        # value; its cost is flat across the T_RH axis.
+        ea_mean = mean_slowdown(QPRAC_EA)
         series = {"Mithril": [], "PrIDE": [], "QPRAC+Pro-EA": []}
-        ea_runs = [
-            simulate_workload(
-                name, config=config,
-                variant=MitigationVariant.QPRAC_PROACTIVE_EA,
-                n_entries=entries,
-            )
-            for name in names
-        ]
-        ea_mean = sum(
-            run.slowdown_pct_vs(baselines[name])
-            for run, name in zip(ea_runs, names)
-        ) / len(names)
         for t_rh in TRH_VALUES:
-            for label, factory in (
-                ("Mithril", mithril_factory(t_rh)),
-                ("PrIDE", pride_factory(t_rh)),
-            ):
-                slow = []
-                for name in names:
-                    run = simulate_workload(
-                        name, config=config,
-                        defense_factory=factory, n_entries=entries,
-                    )
-                    slow.append(run.slowdown_pct_vs(baselines[name]))
-                series[label].append((t_rh, round(sum(slow) / len(slow), 1)))
-            # QPRAC's N_BO=32 config defends T_RH 66+ regardless of the
-            # sweep value; its cost is flat.
+            series["Mithril"].append(
+                (t_rh, round(mean_slowdown(f"mithril:t_rh={t_rh}"), 1))
+            )
+            series["PrIDE"].append(
+                (t_rh, round(mean_slowdown(f"pride:t_rh={t_rh}"), 1))
+            )
             series["QPRAC+Pro-EA"].append((t_rh, round(ea_mean, 1)))
         return series
 

@@ -3,50 +3,56 @@
 Paper: both are <1% at N_BO >= 32; at N_BO = 16 MOAT incurs 3.6% vs
 QPRAC's 2.3%, and proactive cadences shrink both (MOAT+Pro-per-tREFI
 0.7% vs QPRAC's 0.1%) — QPRAC's multi-entry PSQ scales better.
+
+One :mod:`repro.exp` sweep: the mixed MOAT/QPRAC defense grid crossed
+with N_BO override sets, cached per DefenseSpec-keyed job.
 """
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_workloads, emit_table
+from conftest import bench_entries, bench_workloads, bench_sweep, emit_table
 
-from repro.params import MitigationVariant
-from repro.sim import moat_factory, qprac_factory, simulate_workload
+from repro.defenses import DefenseSpec, resolve_defense
+from repro.exp import SweepSpec, mean_slowdown_by_override
+
+NBO_VALUES = (16, 32, 64)
+
+#: Display label -> defense designator.
+DEFENSES = {
+    "MOAT": DefenseSpec("moat"),
+    "MOAT+Pro": DefenseSpec.of("moat", proactive_every_n_refs=1),
+    "QPRAC": "qprac",
+    "QPRAC+Pro-EA": "qprac+proactive-ea",
+}
 
 
 def test_fig21_moat_vs_qprac(benchmark, config, baselines):
     names = list(bench_workloads())[:3]
     entries = bench_entries()
 
-    def mean_slowdown(cfg, factory):
-        values = []
-        for name in names:
-            run = simulate_workload(
-                name, config=cfg, defense_factory=factory, n_entries=entries
-            )
-            values.append(run.slowdown_pct_vs(baselines[name]))
-        return sum(values) / len(values)
-
     def build():
+        spec = SweepSpec(
+            workloads=tuple(names),
+            defenses=tuple(DEFENSES.values()),
+            overrides=tuple({"n_bo": n_bo} for n_bo in NBO_VALUES),
+            config=config,
+            include_baseline=False,
+            n_entries=entries,
+        )
+        sweep = bench_sweep(spec)
         table = {}
-        for n_bo in (16, 32, 64):
-            cfg = config.with_prac(n_bo=n_bo)
-            table[("MOAT", n_bo)] = mean_slowdown(cfg, moat_factory())
-            table[("MOAT+Pro", n_bo)] = mean_slowdown(
-                cfg, moat_factory(proactive_every_n_refs=1)
-            )
-            table[("QPRAC", n_bo)] = mean_slowdown(
-                cfg, qprac_factory(MitigationVariant.QPRAC)
-            )
-            table[("QPRAC+Pro-EA", n_bo)] = mean_slowdown(
-                cfg, qprac_factory(MitigationVariant.QPRAC_PROACTIVE_EA)
-            )
+        for label, defense in DEFENSES.items():
+            spec_label = resolve_defense(defense).label
+            means = mean_slowdown_by_override(sweep, spec_label, baselines)
+            for overrides, mean in means.items():
+                table[(label, dict(overrides)["n_bo"])] = mean
         return table
 
     table = benchmark.pedantic(build, rounds=1, iterations=1)
-    labels = ("MOAT", "MOAT+Pro", "QPRAC", "QPRAC+Pro-EA")
+    labels = tuple(DEFENSES)
     rows = [
         [n_bo] + [round(table[(label, n_bo)], 2) for label in labels]
-        for n_bo in (16, 32, 64)
+        for n_bo in NBO_VALUES
     ]
     emit_table(
         "fig21",

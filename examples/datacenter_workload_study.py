@@ -54,7 +54,7 @@ def main() -> None:
     sweep = run_sweep(
         SweepSpec(
             workloads=tuple(specs),
-            variants=VARIANTS,
+            defenses=VARIANTS,
             config=config,
             include_baseline=True,
             n_entries=ENTRIES,

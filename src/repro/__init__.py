@@ -36,6 +36,7 @@ from repro.core import (
     QPRACBank,
     UPRACBank,
 )
+from repro.defenses import DefenseSpec, register_defense, resolve_defense
 
 __version__ = "1.0.0"
 
@@ -50,6 +51,9 @@ __all__ = [
     "default_config",
     "prac_counter_bits",
     "AboProtocol",
+    "DefenseSpec",
+    "register_defense",
+    "resolve_defense",
     "MOATBank",
     "PanopticonBank",
     "PRACCounterBank",

@@ -6,9 +6,15 @@ Usage::
     python -m repro attacks           # Figures 2, 3, 23: Panopticon attacks
     python -m repro perf 429.mcf ...  # Figure 14/15-style variant sweep
     python -m repro sweep 429.mcf ... # orchestrated sweep: --jobs, cached
+    python -m repro defenses          # list the registered defenses
+    python -m repro cache info        # result-cache entry counts
+    python -m repro cache gc          # compact the result cache
     python -m repro bandwidth         # Figure 19: performance attacks
     python -m repro storage           # Table IV: tracker SRAM
     python -m repro workloads         # list the 57-workload suite
+
+Defenses are addressed by registry name with optional parameters, e.g.
+``--defenses qprac moat:proactive_every_n_refs=4 mithril:t_rh=256``.
 
 Every subcommand prints the same plain-text tables the benchmark harness
 writes to ``benchmarks/results/``.
@@ -24,21 +30,15 @@ from repro.analysis.report import render_series, render_table
 from repro.errors import ReproError
 
 
-def _variant_choices():
-    from repro.params import MitigationVariant
-
-    return tuple(MitigationVariant)
-
-
-def _comparison_rows(comparison, variants) -> list[list[object]]:
-    """Shared workload x variant table body (perf and sweep commands)."""
+def _comparison_rows(comparison, labels) -> list[list[object]]:
+    """Shared workload x defense table body (perf and sweep commands)."""
     rows = []
     for name in comparison.workloads:
-        for variant in variants:
-            run = comparison.results[variant.value][name]
+        for label in labels:
+            run = comparison.results[label][name]
             rows.append([
-                name, variant.value,
-                round(comparison.slowdown_pct(variant.value, name), 2),
+                name, label,
+                round(comparison.slowdown_pct(label, name), 2),
                 round(run.alerts_per_trefi, 3),
             ])
     return rows
@@ -98,25 +98,26 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         f"Variant sweep (N_BO={args.nbo_value}, PRAC-{args.n_mit}, "
         f"{args.entries} accesses/core)",
         ["workload", "variant", "slowdown %", "alerts/tREFI"],
-        _comparison_rows(comparison, variants),
+        _comparison_rows(comparison, [v.value for v in variants]),
     ))
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.defenses import resolve_defense
     from repro.exp import ResultStore, SweepSpec, run_sweep, stderr_progress
-    from repro.params import MitigationVariant, default_config
+    from repro.params import default_config
     from repro.sim import EVALUATED_VARIANTS
 
     config = default_config().with_prac(n_bo=args.nbo_value, n_mit=args.n_mit,
                                         abo_delay=None)
-    if args.variants:
-        variants = tuple(MitigationVariant(v) for v in args.variants)
+    if args.defenses:
+        defenses = tuple(resolve_defense(d) for d in args.defenses)
     else:
-        variants = EVALUATED_VARIANTS
+        defenses = tuple(resolve_defense(v) for v in EVALUATED_VARIANTS)
     spec = SweepSpec(
         workloads=tuple(args.workloads),
-        variants=variants,
+        defenses=defenses,
         config=config,
         n_entries=args.entries,
         seed=args.seed,
@@ -128,8 +129,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(render_table(
         f"Orchestrated sweep (N_BO={args.nbo_value}, PRAC-{args.n_mit}, "
         f"{args.entries} accesses/core, jobs={args.jobs})",
-        ["workload", "variant", "slowdown %", "alerts/tREFI"],
-        _comparison_rows(comparison, variants),
+        ["workload", "defense", "slowdown %", "alerts/tREFI"],
+        _comparison_rows(comparison, [d.label for d in defenses]),
     ))
     cache_note = "cache disabled" if store is None else f"cache {store.path}"
     print(
@@ -137,6 +138,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{sweep.cache_hits} from cache ({cache_note}) "
         f"in {sweep.elapsed_s:.2f}s"
     )
+    return 0
+
+
+def _cmd_defenses(args: argparse.Namespace) -> int:
+    from repro.defenses import registered_defenses
+
+    rows = [
+        [
+            entry.name,
+            ", ".join(p.human for p in entry.params) or "-",
+            entry.summary,
+        ]
+        for entry in registered_defenses()
+    ]
+    print(render_table(
+        "Registered defenses (select with --defenses name:key=value,...)",
+        ["name", "parameters", "summary"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.exp import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "gc":
+        before = store.info()
+        after = store.compact()
+        reclaimed = before.size_bytes - after.size_bytes
+        print(
+            f"compacted {store.path}: kept {after.live_keys} live entries, "
+            f"dropped {before.dead_records} dead records, "
+            f"{before.stale_records} stale entries and "
+            f"{before.damaged_lines} damaged lines "
+            f"({reclaimed} bytes reclaimed)"
+        )
+        return 0
+    info = store.info()
+    print(render_table(
+        f"Result cache {info.path}",
+        ["metric", "value"],
+        [
+            ["live entries", info.live_keys],
+            ["dead records", info.dead_records],
+            ["stale entries", info.stale_records],
+            ["damaged lines", info.damaged_lines],
+            ["size (bytes)", info.size_bytes],
+        ],
+    ))
     return 0
 
 
@@ -219,10 +270,12 @@ def build_parser() -> argparse.ArgumentParser:
         "the content-addressed result cache.",
     )
     p.add_argument("workloads", nargs="+")
-    p.add_argument("--variants", nargs="+", default=None,
-                   metavar="VARIANT",
-                   choices=[v.value for v in _variant_choices()],
-                   help="policy variants (default: the paper's five)")
+    p.add_argument("--defenses", "--variants", nargs="+", default=None,
+                   dest="defenses", metavar="DEFENSE",
+                   help="registered defenses, e.g. qprac "
+                   "moat:proactive_every_n_refs=4 mithril:t_rh=256 "
+                   "(default: the paper's five QPRAC variants; "
+                   "see `repro defenses`)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (default 1 = in-process)")
     p.add_argument("--entries", type=int, default=5000)
@@ -237,6 +290,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress on stderr")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "defenses",
+        help="list registered defenses and their parameters",
+    )
+    p.set_defaults(func=_cmd_defenses)
+
+    p = sub.add_parser(
+        "cache",
+        help="result-cache maintenance (info, gc)",
+        description="Inspect or compact the orchestrator's JSONL result "
+        "cache: `info` reports live/dead entry counts, `gc` rewrites the "
+        "file with only the live records.",
+    )
+    p.add_argument("action", choices=("info", "gc"))
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                   "$REPRO_CACHE_DIR or ~/.cache/qprac-repro)")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("bandwidth", help="performance attack (Fig 19)")
     p.set_defaults(func=_cmd_bandwidth)

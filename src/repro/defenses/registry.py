@@ -1,0 +1,457 @@
+"""The defense registry: named, serializable, pluggable mitigations.
+
+Every mitigation the simulator can run is described by a
+:class:`DefenseSpec` — a plain ``(name, params)`` value that is hashable,
+picklable, byte-stably serializable, and resolvable to a per-bank engine
+factory through a process-wide :class:`DefenseRegistry`.  The spec is the
+unit the experiment orchestrator sweeps, caches and labels by; the
+registry is the single place a defense's construction logic lives.
+
+Two properties are load-bearing:
+
+* **Registry-independent identity.**  A spec's serialized form (and hence
+  every cache key derived from it) depends only on its own ``name`` and
+  ``params`` — never on what else is registered or in which order.
+  Registering a new defense can never invalidate cached results of
+  existing ones.
+* **Fail-fast validation.**  Resolution (``spec.factory()`` or
+  :func:`resolve_defense`) checks the name against the registry and the
+  params against the builder's signature, so a sweep over a typo'd
+  defense dies before any simulation runs, with the registered
+  alternatives in the error message.
+
+External code plugs in new designs with one decorator::
+
+    from repro.defenses import register_defense
+
+    @register_defense("my-prac", summary="my follow-on PRAC design")
+    def build_my_prac(bank_index, config, *, knob: int = 4):
+        return MyPRACBank(config.prac, knob=knob)
+
+    simulate_workload("429.mcf", defense="my-prac:knob=8")
+
+For parallel sweeps (``run_sweep(..., jobs>1)``) register at import time
+— the top level of an importable module, not under ``if __name__ ==
+"__main__":`` or in a REPL cell.  Worker processes re-import the code
+and rebuild the registry from those imports; with the ``spawn`` start
+method (the default on macOS/Windows) a registration that only happened
+in the parent's main block is invisible to workers and the sweep fails
+with "unknown defense".
+"""
+
+from __future__ import annotations
+
+import inspect
+import types
+import typing
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.errors import ConfigError, ReproError
+from repro.params import MitigationVariant, SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.defense import BankDefense
+
+#: Builder signature: positional (bank_index, config) plus keyword params.
+DefenseBuilder = Callable[..., "BankDefense"]
+
+#: Canonical name of the paper's non-secure baseline defense.
+BASELINE_NAME = "baseline"
+
+
+def _parse_value(raw: str) -> object:
+    """Coerce one CLI parameter string to a Python value.
+
+    ``"4"`` → 4, ``"2.5"`` → 2.5, ``"true"``/``"false"`` → bool,
+    ``"none"`` → None; anything else stays a string.  Quote a value
+    (``mode='8'``) to keep it a string verbatim.
+    """
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in ("'", '"'):
+        return raw[1:-1]
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def _render_value(value: object) -> str:
+    """Inverse of :func:`_parse_value`: quote strings that would
+    otherwise coerce to a different value — or split differently —
+    when parsed back (numeric-looking values, separators, quotes)."""
+    if isinstance(value, str) and (
+        _parse_value(value) != value
+        or any(ch in value for ch in ",=:'\"")
+    ):
+        quote = '"' if "'" in value else "'"
+        return f"{quote}{value}{quote}"
+    return str(value)
+
+
+def _split_params(text: str) -> list[str]:
+    """Split ``k=v,k=v`` on commas, honouring quoted values."""
+    items: list[str] = []
+    buffer: list[str] = []
+    quote: str | None = None
+    for ch in text:
+        if quote is not None:
+            buffer.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+            buffer.append(ch)
+        elif ch == ",":
+            items.append("".join(buffer))
+            buffer = []
+        else:
+            buffer.append(ch)
+    items.append("".join(buffer))
+    return items
+
+
+@dataclass(frozen=True)
+class DefenseSpec:
+    """A serializable description of one defense: name + parameters.
+
+    Params are stored as a sorted tuple of ``(key, value)`` pairs so two
+    specs naming the same configuration always compare (and hash, and
+    serialize) identically regardless of construction order.
+    """
+
+    name: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("defense name must be non-empty")
+        object.__setattr__(
+            self, "params", tuple(sorted(dict(self.params).items()))
+        )
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def of(cls, name: str, **params: object) -> "DefenseSpec":
+        """Convenience constructor: ``DefenseSpec.of("moat", eth=8)``."""
+        return cls(name=name, params=tuple(params.items()))
+
+    @classmethod
+    def from_string(cls, text: str) -> "DefenseSpec":
+        """Parse the CLI syntax ``name`` or ``name:key=value,key=value``.
+
+        Values are coerced (int/float/bool/None) by :func:`_parse_value`.
+        """
+        text = text.strip()
+        name, _, param_text = text.partition(":")
+        name = name.strip()
+        if not name:
+            raise ConfigError(f"defense spec {text!r} has no name")
+        params: dict[str, object] = {}
+        if param_text.strip():
+            for item in _split_params(param_text):
+                key, sep, raw = item.partition("=")
+                key = key.strip()
+                if not sep or not key:
+                    raise ConfigError(
+                        f"malformed defense parameter {item!r} in {text!r}; "
+                        "expected key=value"
+                    )
+                params[key] = _parse_value(raw.strip())
+        return cls.of(name, **params)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "DefenseSpec":
+        """Inverse of :meth:`to_dict`."""
+        name = payload.get("name")
+        params = payload.get("params", {})
+        if not isinstance(name, str) or not isinstance(params, Mapping):
+            raise ConfigError(f"malformed defense payload: {payload!r}")
+        return cls.of(name, **dict(params))
+
+    # -- identity ------------------------------------------------------
+    @property
+    def params_dict(self) -> dict[str, object]:
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        """Canonical human/cache label: ``name[:k=v,...]`` (sorted keys).
+
+        String values that would parse back as a different type are
+        quoted (``mode='8'``), keeping the label loss-free.
+        """
+        if not self.params:
+            return self.name
+        rendered = ",".join(
+            f"{k}={_render_value(v)}" for k, v in self.params
+        )
+        return f"{self.name}:{rendered}"
+
+    def to_string(self) -> str:
+        """CLI-syntax form; ``from_string(to_string())`` round-trips for
+        every value the syntax can express — scalars, and strings without
+        commas or quotes (build exotic specs with :meth:`of` instead)."""
+        return self.label
+
+    def to_dict(self) -> dict:
+        """JSON-able form; feeds cache keys, so registry-independent."""
+        return {"name": self.name, "params": self.params_dict}
+
+    # -- shims ---------------------------------------------------------
+    @property
+    def variant(self) -> MitigationVariant | None:
+        """The QPRAC policy this spec names, or None for other defenses."""
+        try:
+            return MitigationVariant(self.name)
+        except ValueError:
+            return None
+
+    @property
+    def is_baseline(self) -> bool:
+        return self.name == BASELINE_NAME
+
+    # -- resolution ----------------------------------------------------
+    def validate(self, registry: "DefenseRegistry | None" = None) -> None:
+        """Check name and params against the registry; raise otherwise."""
+        (registry or REGISTRY).entry(self.name).check_params(self.params_dict)
+
+    def factory(self, registry: "DefenseRegistry | None" = None):
+        """Resolve to a per-bank :data:`DefenseFactory` (validated).
+
+        The returned callable carries this spec as a ``spec`` attribute so
+        downstream code (e.g. result labeling) can recover the name.
+        """
+        entry = (registry or REGISTRY).entry(self.name)
+        entry.check_params(self.params_dict)
+        params = self.params_dict
+
+        def make(bank_index: int, config: SystemConfig):
+            return entry.builder(bank_index, config, **params)
+
+        make.spec = self  # type: ignore[attr-defined]
+        return make
+
+
+#: Simple annotation types value validation understands; anything else
+#: (unannotated params, containers, protocols) is accepted unchecked.
+_CHECKABLE_TYPES = (int, float, bool, str)
+
+
+def _annotation_accepts(annotation: object, value: object) -> bool:
+    """True when ``value`` fits a simple annotation (lenient otherwise).
+
+    Understands the scalar types and PEP 604 / ``Optional`` unions over
+    them; ints are accepted for float params (standard numeric widening).
+    """
+    if isinstance(annotation, (types.UnionType,)) or \
+            typing.get_origin(annotation) is typing.Union:
+        return any(
+            _annotation_accepts(member, value)
+            for member in typing.get_args(annotation)
+        )
+    if annotation is type(None):
+        return value is None
+    if annotation is bool:
+        return isinstance(value, bool)
+    if annotation is float:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if annotation is int:
+        return isinstance(value, int) and not isinstance(value, bool)
+    if annotation is str:
+        return isinstance(value, str)
+    return True  # unknown/complex annotation: no opinion
+
+
+@dataclass(frozen=True)
+class DefenseParam:
+    """One keyword parameter a registered builder accepts."""
+
+    name: str
+    default: object = None
+    required: bool = False
+    #: Resolved type annotation, or None when the builder left it off.
+    annotation: object = None
+
+    @property
+    def human(self) -> str:
+        return f"{self.name} (required)" if self.required \
+            else f"{self.name}={self.default}"
+
+    def accepts(self, value: object) -> bool:
+        if self.annotation is None:
+            return True
+        return _annotation_accepts(self.annotation, value)
+
+
+@dataclass(frozen=True)
+class RegisteredDefense:
+    """Registry entry: the builder plus its introspected parameter table."""
+
+    name: str
+    builder: DefenseBuilder
+    summary: str = ""
+    params: tuple[DefenseParam, ...] = field(default=())
+
+    def check_params(self, params: Mapping[str, object]) -> None:
+        known = {p.name for p in self.params}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            valid = ", ".join(sorted(known)) or "(none)"
+            raise ReproError(
+                f"unknown parameter(s) {', '.join(unknown)} for defense "
+                f"{self.name!r}; valid parameters: {valid}"
+            )
+        missing = sorted(
+            p.name for p in self.params if p.required and p.name not in params
+        )
+        if missing:
+            raise ReproError(
+                f"defense {self.name!r} requires parameter(s): "
+                f"{', '.join(missing)}"
+            )
+        for param in self.params:
+            if param.name in params and not param.accepts(params[param.name]):
+                value = params[param.name]
+                expected = getattr(
+                    param.annotation, "__name__", str(param.annotation)
+                )
+                raise ReproError(
+                    f"defense {self.name!r} parameter {param.name}="
+                    f"{value!r} has the wrong type "
+                    f"({type(value).__name__}; expected {expected})"
+                )
+
+
+def _introspect_params(builder: DefenseBuilder) -> tuple[DefenseParam, ...]:
+    """Parameter table from a builder's signature (skipping bank/config)."""
+    signature = inspect.signature(builder)
+    names = list(signature.parameters)
+    if len(names) < 2:
+        raise ConfigError(
+            "a defense builder must accept (bank_index, config) plus "
+            "keyword parameters"
+        )
+    try:
+        hints = typing.get_type_hints(builder)
+    except Exception:
+        hints = {}  # unresolvable annotations: skip value validation
+    params = []
+    for parameter in list(signature.parameters.values())[2:]:
+        if parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD
+        ):
+            raise ConfigError(
+                f"defense builder {builder!r} must declare explicit "
+                "keyword parameters (no *args/**kwargs)"
+            )
+        required = parameter.default is inspect.Parameter.empty
+        params.append(DefenseParam(
+            name=parameter.name,
+            default=None if required else parameter.default,
+            required=required,
+            annotation=hints.get(parameter.name),
+        ))
+    return tuple(params)
+
+
+class DefenseRegistry:
+    """Name → :class:`RegisteredDefense` map with duplicate rejection."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegisteredDefense] = {}
+
+    def register(
+        self, name: str, summary: str = ""
+    ) -> Callable[[DefenseBuilder], DefenseBuilder]:
+        """Decorator registering ``builder`` under ``name``.
+
+        The builder is called as ``builder(bank_index, config, **params)``
+        once per bank; its keyword parameters (introspected from the
+        signature) become the spec's valid params.
+        """
+        if not name:
+            raise ConfigError("defense name must be non-empty")
+
+        def decorator(builder: DefenseBuilder) -> DefenseBuilder:
+            if name in self._entries:
+                raise ConfigError(
+                    f"defense {name!r} is already registered "
+                    f"(by {self._entries[name].builder!r})"
+                )
+            self._entries[name] = RegisteredDefense(
+                name=name,
+                builder=builder,
+                summary=summary,
+                params=_introspect_params(builder),
+            )
+            return builder
+
+        return decorator
+
+    def entry(self, name: str) -> RegisteredDefense:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "(none)"
+            raise ReproError(
+                f"unknown defense {name!r}; registered defenses: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def entries(self) -> tuple[RegisteredDefense, ...]:
+        return tuple(self._entries[name] for name in self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide registry every un-scoped resolution consults.
+REGISTRY = DefenseRegistry()
+
+#: Module-level decorator bound to the global registry (the public API).
+register_defense = REGISTRY.register
+
+
+def registered_defenses() -> tuple[RegisteredDefense, ...]:
+    """All globally registered defenses, sorted by name."""
+    return REGISTRY.entries()
+
+
+def resolve_defense(
+    defense: "DefenseSpec | MitigationVariant | str",
+    registry: DefenseRegistry | None = None,
+) -> DefenseSpec:
+    """Normalize any defense designator to a validated :class:`DefenseSpec`.
+
+    Accepts a spec, a :class:`~repro.params.MitigationVariant` (the
+    compatibility shim: each variant resolves to its registered QPRAC
+    spec), or a string in the ``name[:k=v,...]`` CLI syntax.
+    """
+    if isinstance(defense, DefenseSpec):
+        spec = defense
+    elif isinstance(defense, MitigationVariant):
+        spec = DefenseSpec(defense.value)
+    elif isinstance(defense, str):
+        spec = DefenseSpec.from_string(defense)
+    else:
+        raise ConfigError(
+            f"cannot resolve {defense!r} to a defense; pass a DefenseSpec, "
+            "a MitigationVariant, or a 'name:key=value' string"
+        )
+    spec.validate(registry)
+    return spec

@@ -2,18 +2,36 @@
 content-addressed result caching.
 
 The layer between the simulator core and every consumer that runs more
-than one simulation::
+than one simulation.  Grids are workloads × defenses × PRAC overrides,
+where a defense is anything the registry knows — QPRAC variants, MOAT,
+PrIDE, Mithril, or an externally registered plugin — named by a
+:class:`~repro.defenses.DefenseSpec` (strings like
+``"moat:proactive_every_n_refs=4"`` work anywhere a spec does)::
 
     from repro.exp import ResultStore, SweepSpec, run_sweep
 
-    spec = SweepSpec.build(["429.mcf", "470.lbm"], ["qprac"], n_entries=5000)
+    spec = SweepSpec.build(
+        ["429.mcf", "470.lbm"],
+        ["qprac", "moat", "mithril:t_rh=256"],
+        n_entries=5000,
+    )
     sweep = run_sweep(spec, jobs=4, store=ResultStore("/tmp/cache"))
     table = sweep.comparison()          # VariantComparison, as before
     print(sweep.cache_hits, sweep.executed)
+
+Every job is content addressed by its serialized defense spec, workload,
+configuration and code-version salt, so re-running any grid — mixed
+defenses included — is a cache replay, byte-identical at any ``jobs``
+count.
 """
 
 from repro.exp.aggregate import comparison_from_sweep, mean_slowdown_by_override
-from repro.exp.cache import CACHE_DIR_ENV, ResultStore, default_cache_dir
+from repro.exp.cache import (
+    CACHE_DIR_ENV,
+    ResultStore,
+    StoreInfo,
+    default_cache_dir,
+)
 from repro.exp.runner import (
     JobOutcome,
     SweepResult,
@@ -37,6 +55,7 @@ __all__ = [
     "JobOutcome",
     "ResultStore",
     "SCHEMA_VERSION",
+    "StoreInfo",
     "SweepResult",
     "SweepSpec",
     "canonical_json",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 
 #: Subdirectory used under the user cache root when no directory is given.
@@ -35,6 +36,37 @@ def default_cache_dir() -> Path:
     return root / CACHE_SUBDIR
 
 
+def _current_salt() -> str:
+    """The simulator code-version salt (imported lazily: serialize pulls
+    in the simulation model, which this module must not load eagerly)."""
+    from repro.exp.serialize import code_version_salt
+
+    return code_version_salt()
+
+
+@dataclass(frozen=True)
+class StoreInfo:
+    """Snapshot of a store's on-disk health (``repro cache info``).
+
+    ``dead_records`` are well-formed rows shadowed by a later write of
+    the same key; ``stale_records`` are rows written under an older
+    code-version salt, which no current cache key can ever reference
+    again.  Together with ``damaged_lines`` they are the bytes a
+    :meth:`ResultStore.compact` reclaims.
+    """
+
+    path: str
+    size_bytes: int
+    live_keys: int
+    dead_records: int
+    stale_records: int
+    damaged_lines: int
+
+    @property
+    def total_records(self) -> int:
+        return self.live_keys + self.dead_records
+
+
 class ResultStore:
     """Durable key → payload map over an append-only JSONL file."""
 
@@ -42,6 +74,10 @@ class ResultStore:
         self.directory = Path(cache_dir) if cache_dir else default_cache_dir()
         self.path = self.directory / "results.jsonl"
         self._index: dict[str, dict] = {}
+        #: Code-version salt each key was written under (None if unknown).
+        self._salts: dict[str, str | None] = {}
+        #: Well-formed records appended so far (live + superseded).
+        self._records = 0
         #: Damaged lines skipped during the initial load.
         self.skipped_lines = 0
         #: get() bookkeeping, reset per store instance.
@@ -78,7 +114,19 @@ class ResultStore:
                 continue
             # Last write wins, so re-runs after code changes stay correct
             # even if an old record shares a key (it cannot, but cheap).
+            self._records += 1
             self._index[record["key"]] = record["payload"]
+            salt = record.get("salt")
+            self._salts[record["key"]] = salt if isinstance(salt, str) else None
+
+    def _reload(self) -> None:
+        """Re-read the file from scratch (picks up concurrent appends)."""
+        self._index = {}
+        self._salts = {}
+        self._records = 0
+        self.skipped_lines = 0
+        self._needs_newline = False
+        self._load()
 
     def __len__(self) -> int:
         return len(self._index)
@@ -95,13 +143,86 @@ class ResultStore:
             self.hits += 1
         return payload
 
-    def put(self, key: str, payload: dict) -> None:
-        """Record a result durably (appended before the index updates)."""
+    def put(self, key: str, payload: dict, salt: str | None = None) -> None:
+        """Record a result durably (appended before the index updates).
+
+        ``salt`` tags the row with the code-version salt it was computed
+        under.  The salt is already folded into the opaque ``key``, so
+        it is redundant for lookups — but recording it visibly lets
+        :meth:`compact` reclaim rows stranded by simulator changes.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
-        line = json.dumps({"key": key, "payload": payload}, sort_keys=True)
+        record: dict = {"key": key, "payload": payload}
+        if salt is not None:
+            record["salt"] = salt
+        line = json.dumps(record, sort_keys=True)
         with self.path.open("a") as handle:
             if self._needs_newline:
                 handle.write("\n")
                 self._needs_newline = False
             handle.write(line + "\n")
+        self._records += 1
         self._index[key] = payload
+        self._salts[key] = salt
+
+    # ------------------------------------------------------------------
+    # Maintenance (``repro cache info`` / ``repro cache gc``)
+    # ------------------------------------------------------------------
+    def _stale_keys(self) -> set[str]:
+        """Keys written under a different code-version salt than today's.
+
+        Unsalted rows (written via a bare :meth:`put`) are never treated
+        as stale — their vintage is unknown.
+        """
+        if not any(salt is not None for salt in self._salts.values()):
+            return set()
+        current = _current_salt()
+        return {
+            key for key, salt in self._salts.items()
+            if salt is not None and salt != current
+        }
+
+    def info(self) -> StoreInfo:
+        """Entry counts and reclaimable waste for this store."""
+        size = self.path.stat().st_size if self.path.exists() else 0
+        return StoreInfo(
+            path=str(self.path),
+            size_bytes=size,
+            live_keys=len(self._index),
+            dead_records=self._records - len(self._index),
+            stale_records=len(self._stale_keys()),
+            damaged_lines=self.skipped_lines,
+        )
+
+    def compact(self) -> StoreInfo:
+        """Rewrite the JSONL file with only the live, current records.
+
+        Drops superseded duplicates, damaged lines, and rows written
+        under an older code-version salt (no current cache key can ever
+        reference those again — without this the CI-persisted cache
+        would grow by one full result set per simulator change).  The
+        rewrite is atomic (temp file + rename), so a crash
+        mid-compaction leaves the original file intact.  The file is
+        re-read immediately before rewriting, so records appended by
+        another process since this store loaded are preserved (a writer
+        racing the rename itself can still lose its latest appends —
+        run ``cache gc`` while sweeps are quiescent).  Returns the
+        post-compaction :class:`StoreInfo`.
+        """
+        if self.path.exists():
+            self._reload()
+            for key in self._stale_keys():
+                del self._index[key]
+                del self._salts[key]
+            tmp = self.path.with_suffix(".jsonl.tmp")
+            with tmp.open("w") as handle:
+                for key, payload in self._index.items():
+                    record: dict = {"key": key, "payload": payload}
+                    if self._salts.get(key) is not None:
+                        record["salt"] = self._salts[key]
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            os.replace(tmp, self.path)
+        self._records = len(self._index)
+        self.skipped_lines = 0
+        self._needs_newline = False
+        return self.info()

@@ -25,7 +25,11 @@ from typing import Callable
 from repro.cpu.system import SystemResult
 from repro.errors import ReproError
 from repro.exp.cache import ResultStore
-from repro.exp.serialize import result_from_dict, result_to_dict
+from repro.exp.serialize import (
+    code_version_salt,
+    result_from_dict,
+    result_to_dict,
+)
 from repro.exp.spec import Job, Overrides, SweepSpec, overrides_label
 
 ProgressFn = Callable[[str], None]
@@ -38,18 +42,12 @@ def execute_job(job: Job) -> dict:
     serial and the parallel path route results through this dict form —
     the single canonical representation shared with the cache.
     """
-    from repro.sim.runner import simulate_baseline, simulate_workload
+    from repro.sim.runner import simulate_workload
 
-    if job.variant is None:
-        result = simulate_baseline(
-            job.workload, config=job.config,
-            n_entries=job.n_entries, seed=job.seed,
-        )
-    else:
-        result = simulate_workload(
-            job.workload, config=job.config, variant=job.variant,
-            n_entries=job.n_entries, seed=job.seed,
-        )
+    result = simulate_workload(
+        job.workload, config=job.config, defense=job.defense,
+        n_entries=job.n_entries, seed=job.seed,
+    )
     return result_to_dict(result)
 
 
@@ -86,18 +84,18 @@ class SweepResult:
         return {
             o.job.workload.name: o.result
             for o in self.outcomes
-            if o.job.variant is None
+            if o.job.defense.is_baseline
         }
 
     def results_by_variant(
         self, overrides: Overrides = ()
     ) -> dict[str, dict[str, SystemResult]]:
-        """``{variant_name: {workload: result}}`` for one override set."""
+        """``{defense_label: {workload: result}}`` for one override set."""
         table: dict[str, dict[str, SystemResult]] = {}
         for outcome in self.outcomes:
             if outcome.job.overrides != overrides:
                 continue
-            per_workload = table.setdefault(outcome.job.variant_name, {})
+            per_workload = table.setdefault(outcome.job.defense.label, {})
             per_workload[outcome.job.workload.name] = outcome.result
         if not table:
             raise ReproError(
@@ -164,7 +162,9 @@ def run_sweep(
         payloads[index] = payload
         if store is not None:
             assert keys[index] is not None
-            store.put(keys[index], payload)
+            # Tag the row with the salt baked into its key, so cache
+            # compaction can identify rows stranded by code changes.
+            store.put(keys[index], payload, salt=code_version_salt())
         completed += 1
         _report(progress, completed, total, expanded[index], cached=False)
 

@@ -31,7 +31,9 @@ from repro.params import SystemConfig
 from repro.workloads.synthetic import WorkloadSpec
 
 #: Bump when the cached payload layout changes; old rows become misses.
-SCHEMA_VERSION = 1
+#: v2: jobs are keyed by their serialized DefenseSpec (name + params)
+#: instead of a QPRAC variant name.
+SCHEMA_VERSION = 2
 
 
 @lru_cache(maxsize=1)
@@ -90,8 +92,8 @@ def workload_fingerprint(spec: WorkloadSpec) -> dict:
 #: not invalidate cached simulation results.  Payload-layout changes are
 #: covered by :data:`SCHEMA_VERSION` instead.
 SIMULATION_SOURCES = (
-    "controller", "core", "cpu", "dram", "sim", "workloads",
-    "engine.py", "errors.py", "params.py",
+    "controller", "core", "cpu", "defenses", "dram", "mitigations", "sim",
+    "workloads", "engine.py", "errors.py", "params.py",
 )
 
 

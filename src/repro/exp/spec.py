@@ -1,11 +1,18 @@
 """Declarative sweep specifications.
 
-A :class:`SweepSpec` names a grid of simulations — workloads × variants ×
+A :class:`SweepSpec` names a grid of simulations — workloads × defenses ×
 PRAC config overrides — and expands it into a deterministic list of
 :class:`Job` s.  Jobs are plain frozen dataclasses: picklable (so they
 cross the worker-process boundary), individually seeded, and content
 addressed (:meth:`Job.cache_key` hashes everything that determines the
 simulation's output, including the simulator's own code version).
+
+Defenses are :class:`~repro.defenses.DefenseSpec` values: any registered
+mitigation — QPRAC variants, MOAT, PrIDE, Mithril, Panopticon, UPRAC or
+an externally registered plugin — sweeps through the same grid.  Plain
+strings (``"moat:proactive_every_n_refs=4"``) and
+:class:`~repro.params.MitigationVariant` members are accepted anywhere a
+spec is and normalized on construction.
 
 Expansion order is part of the contract: ``expand()`` returns the same
 jobs in the same order for the same spec, so aggregated sweep output is
@@ -19,6 +26,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from repro.defenses import BASELINE_NAME, DefenseSpec, resolve_defense
 from repro.errors import ConfigError
 from repro.params import MitigationVariant, PRACParams, SystemConfig, default_config
 from repro.exp.serialize import (
@@ -32,8 +40,11 @@ from repro.exp.serialize import (
 from repro.workloads.suites import workload as lookup_workload
 from repro.workloads.synthetic import WorkloadSpec
 
-#: Sentinel variant name for the paper's non-secure baseline runs.
-BASELINE = "baseline"
+#: Label of the paper's non-secure baseline runs (a registered defense).
+BASELINE = BASELINE_NAME
+
+#: The baseline's spec: parameterless, shared by every sweep expansion.
+BASELINE_SPEC = DefenseSpec(BASELINE)
 
 _PRAC_FIELDS = frozenset(f.name for f in dataclasses.fields(PRACParams))
 
@@ -63,22 +74,29 @@ class Job:
     """One fully-specified simulation: the unit of dispatch and caching."""
 
     workload: WorkloadSpec
-    #: A QPRAC policy variant, or ``None`` for the non-secure baseline.
-    variant: MitigationVariant | None
+    #: The defense this job runs (``DefenseSpec(BASELINE)`` for the
+    #: non-secure baseline).
+    defense: DefenseSpec
     #: PRAC overrides already folded into ``config`` (kept for labelling).
     overrides: Overrides
-    #: Effective configuration (overrides and variant applied).
+    #: Effective configuration (overrides and QPRAC variant applied).
     config: SystemConfig
     n_entries: int
     seed: int
 
     @property
+    def variant(self) -> MitigationVariant | None:
+        """QPRAC compatibility shim: the policy this defense names, if any."""
+        return self.defense.variant
+
+    @property
     def variant_name(self) -> str:
-        return BASELINE if self.variant is None else self.variant.value
+        """Result/table label: the defense's canonical label."""
+        return self.defense.label
 
     @property
     def label(self) -> str:
-        return f"{self.workload.name}/{self.variant_name}"
+        return f"{self.workload.name}/{self.defense.label}"
 
     def cache_key(self) -> str:
         """Content address: hash of every input that shapes the result.
@@ -86,14 +104,17 @@ class Job:
         Includes a salt over the simulator sources
         (:func:`~repro.exp.serialize.code_version_salt`) so stale results
         are never served across code changes, and the payload schema
-        version so layout changes invalidate cleanly.
+        version so layout changes invalidate cleanly.  The defense enters
+        as its serialized ``{name, params}`` form — independent of the
+        registry's contents or registration order, so registering new
+        defenses never perturbs existing keys.
         """
         identity = {
             "schema": SCHEMA_VERSION,
             "code": code_version_salt(),
             "env": environment_fingerprint(),
             "workload": workload_fingerprint(self.workload),
-            "variant": self.variant_name,
+            "defense": self.defense.to_dict(),
             "config": config_fingerprint(self.config),
             "n_entries": self.n_entries,
             "seed": self.seed,
@@ -103,21 +124,23 @@ class Job:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A workloads × variants × overrides grid, expanded into jobs.
+    """A workloads × defenses × overrides grid, expanded into jobs.
 
     Parameters
     ----------
     workloads:
         Workload names (resolved against the 57-workload suite) or
         explicit :class:`WorkloadSpec` objects.
-    variants:
-        QPRAC policy variants to run for every workload.
+    defenses:
+        Defenses to run for every workload: :class:`DefenseSpec` values,
+        registered-defense strings (``"moat:eth=8"``) or
+        :class:`MitigationVariant` members, freely mixed.
     overrides:
         PRAC parameter override sets; each dict is one grid axis value
         (``({},)`` — the default — runs the config as given).
     include_baseline:
-        Also run the non-secure baseline once per workload × override set
-        (required to aggregate slowdowns).
+        Also run the non-secure baseline once per workload (required to
+        aggregate slowdowns).
     seed:
         Base seed.  Every expanded job carries its own explicit seed,
         derived deterministically (currently the base seed itself — trace
@@ -126,7 +149,7 @@ class SweepSpec:
     """
 
     workloads: tuple[WorkloadSpec, ...]
-    variants: tuple[MitigationVariant, ...]
+    defenses: tuple[DefenseSpec, ...]
     overrides: tuple[Overrides, ...] = ((),)
     config: SystemConfig = field(default_factory=default_config)
     include_baseline: bool = True
@@ -144,11 +167,8 @@ class SweepSpec:
         )
         object.__setattr__(
             self,
-            "variants",
-            tuple(
-                v if isinstance(v, MitigationVariant) else MitigationVariant(v)
-                for v in self.variants
-            ),
+            "defenses",
+            tuple(resolve_defense(d) for d in self.defenses),
         )
         object.__setattr__(
             self,
@@ -163,8 +183,19 @@ class SweepSpec:
             raise ConfigError(
                 f"duplicate workloads in sweep: {', '.join(dupes)}"
             )
-        if not self.variants and not self.include_baseline:
-            raise ConfigError("a sweep needs variants or the baseline")
+        labels = [d.label for d in self.defenses]
+        if len(set(labels)) != len(labels):
+            dupes = sorted({l for l in labels if labels.count(l) > 1})
+            raise ConfigError(
+                f"duplicate defenses in sweep: {', '.join(dupes)}"
+            )
+        if self.include_baseline and any(d.is_baseline for d in self.defenses):
+            raise ConfigError(
+                "the baseline is already included via include_baseline=True; "
+                "drop it from defenses (or pass include_baseline=False)"
+            )
+        if not self.defenses and not self.include_baseline:
+            raise ConfigError("a sweep needs defenses or the baseline")
         if not self.overrides:
             raise ConfigError("overrides must contain at least one set "
                               "(use ({},) for none)")
@@ -175,13 +206,17 @@ class SweepSpec:
     def workload_names(self) -> tuple[str, ...]:
         return tuple(w.name for w in self.workloads)
 
-    def job_seed(self, workload: WorkloadSpec, variant_name: str) -> int:
+    @property
+    def defense_labels(self) -> tuple[str, ...]:
+        return tuple(d.label for d in self.defenses)
+
+    def job_seed(self, workload: WorkloadSpec, defense_label: str) -> int:
         """Deterministic per-job seed (see class docstring)."""
-        del workload, variant_name
+        del workload, defense_label
         return self.seed
 
     def expand(self) -> list[Job]:
-        """Materialise the grid, in stable (override, workload, variant)
+        """Materialise the grid, in stable (override, workload, defense)
         order with each workload's baseline first.
 
         Baselines are emitted once per workload, from the *un-overridden*
@@ -197,20 +232,22 @@ class SweepSpec:
                 if self.include_baseline and set_index == 0:
                     jobs.append(Job(
                         workload=workload,
-                        variant=None,
+                        defense=BASELINE_SPEC,
                         overrides=(),
                         config=self.config,
                         n_entries=self.n_entries,
                         seed=self.job_seed(workload, BASELINE),
                     ))
-                for variant in self.variants:
+                for defense in self.defenses:
+                    variant = defense.variant
+                    config = base.with_variant(variant) if variant else base
                     jobs.append(Job(
                         workload=workload,
-                        variant=variant,
+                        defense=defense,
                         overrides=overrides,
-                        config=base.with_variant(variant),
+                        config=config,
                         n_entries=self.n_entries,
-                        seed=self.job_seed(workload, variant.value),
+                        seed=self.job_seed(workload, defense.label),
                     ))
         return jobs
 
@@ -218,14 +255,14 @@ class SweepSpec:
     def build(
         cls,
         workloads: Sequence[str | WorkloadSpec],
-        variants: Iterable[MitigationVariant | str],
+        defenses: Iterable[DefenseSpec | MitigationVariant | str],
         overrides: Sequence[Mapping[str, object]] = ({},),
         **kwargs: object,
     ) -> "SweepSpec":
         """Convenience constructor accepting plain lists/dicts."""
         return cls(
             workloads=tuple(workloads),
-            variants=tuple(variants),
+            defenses=tuple(defenses),
             overrides=tuple(_normalize_overrides(o) for o in overrides),
             **kwargs,  # type: ignore[arg-type]
         )

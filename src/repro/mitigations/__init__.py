@@ -9,7 +9,6 @@
 """
 
 from repro.controller.memctrl import DefenseFactory
-from repro.core.defense import BankDefense
 from repro.mitigations.misra_gries import MisraGries
 from repro.mitigations.mithril import (
     MITHRIL_ENTRIES_PER_BANK,
@@ -23,34 +22,20 @@ from repro.mitigations.pride import (
     PrIDEBank,
     pride_cadence_acts,
 )
-from repro.params import SystemConfig
 
 
 def pride_factory(t_rh: int) -> DefenseFactory:
-    """Per-bank PrIDE engines tuned for ``t_rh``."""
+    """Per-bank PrIDE engines tuned for ``t_rh`` (registry-backed)."""
+    from repro.defenses import DefenseSpec
 
-    def make(bank_index: int, config: SystemConfig) -> BankDefense:
-        return PrIDEBank(
-            t_rh,
-            num_rows=config.org.rows_per_bank,
-            blast_radius=config.prac.blast_radius,
-            seed=bank_index,
-        )
-
-    return make
+    return DefenseSpec.of("pride", t_rh=t_rh).factory()
 
 
 def mithril_factory(t_rh: int) -> DefenseFactory:
-    """Per-bank Mithril engines tuned for ``t_rh``."""
+    """Per-bank Mithril engines tuned for ``t_rh`` (registry-backed)."""
+    from repro.defenses import DefenseSpec
 
-    def make(_bank_index: int, config: SystemConfig) -> BankDefense:
-        return MithrilBank(
-            t_rh,
-            num_rows=config.org.rows_per_bank,
-            blast_radius=config.prac.blast_radius,
-        )
-
-    return make
+    return DefenseSpec.of("mithril", t_rh=t_rh).factory()
 
 
 __all__ = [

@@ -1,28 +1,30 @@
-"""Defense factories: build per-bank defense engines for a configuration.
+"""Legacy defense-factory helpers, now thin wrappers over the registry.
 
-The :class:`~repro.controller.memctrl.MemorySystem` is defense-agnostic;
-these factories close over a :class:`~repro.params.SystemConfig` (or
-defense-specific parameters) and produce one engine per bank.
+The construction logic for every defense lives in
+:mod:`repro.defenses.builtin`; these helpers survive for callers written
+against the original factory API and simply resolve the matching
+:class:`~repro.defenses.DefenseSpec`.  New code should pass a spec (or
+its string form) to :func:`repro.sim.runner.simulate_workload` directly.
+
+Registry-resolved factories carry their spec as a ``spec`` attribute, so
+results from factory-based runs are labeled with the real defense name
+rather than ``"custom"``.  The one exception is ``qprac_factory(None)``,
+whose variant is only known per-config at bank-construction time; the
+default simulation path labels those runs from ``config.variant``
+instead.
 """
 
 from __future__ import annotations
 
 from repro.controller.memctrl import DefenseFactory
 from repro.core.defense import BankDefense
-from repro.core.moat import MOATBank
-from repro.core.null_defense import NullDefense
-from repro.core.panopticon import PanopticonBank
-from repro.core.qprac import QPRACBank
+from repro.defenses import REGISTRY, DefenseSpec
 from repro.params import MitigationVariant, SystemConfig
 
 
 def baseline_factory() -> DefenseFactory:
     """The paper's non-secure baseline: PRAC timings, no ABO mitigation."""
-
-    def make(_bank_index: int, _config: SystemConfig) -> BankDefense:
-        return NullDefense()
-
-    return make
+    return DefenseSpec.of("baseline").factory()
 
 
 def qprac_factory(variant: MitigationVariant | None = None) -> DefenseFactory:
@@ -31,14 +33,11 @@ def qprac_factory(variant: MitigationVariant | None = None) -> DefenseFactory:
     When ``variant`` is None the config's own ``variant`` field is used,
     so a single factory serves every sweep.
     """
+    if variant is not None:
+        return DefenseSpec.of(variant.value).factory()
 
-    def make(_bank_index: int, config: SystemConfig) -> BankDefense:
-        chosen = variant if variant is not None else config.variant
-        return QPRACBank(
-            config.prac,
-            num_rows=config.org.rows_per_bank,
-            variant=chosen,
-        )
+    def make(bank_index: int, config: SystemConfig) -> BankDefense:
+        return REGISTRY.entry(config.variant.value).builder(bank_index, config)
 
     return make
 
@@ -47,32 +46,19 @@ def moat_factory(
     proactive_every_n_refs: int | None = None,
 ) -> DefenseFactory:
     """MOAT banks (Section VII-A comparison): ETH = N_BO / 2."""
-
-    def make(_bank_index: int, config: SystemConfig) -> BankDefense:
-        return MOATBank(
-            n_bo=config.prac.n_bo,
-            num_rows=config.org.rows_per_bank,
-            blast_radius=config.prac.blast_radius,
-            proactive_every_n_refs=proactive_every_n_refs,
-        )
-
-    return make
+    params = {}
+    if proactive_every_n_refs is not None:
+        params["proactive_every_n_refs"] = proactive_every_n_refs
+    return DefenseSpec.of("moat", **params).factory()
 
 
 def panopticon_factory(t_bit: int = 6, queue_size: int = 5) -> DefenseFactory:
     """Panopticon banks (for end-to-end runs of the insecure baseline)."""
-
-    def make(_bank_index: int, config: SystemConfig) -> BankDefense:
-        return PanopticonBank(
-            t_bit=t_bit,
-            queue_size=queue_size,
-            num_rows=config.org.rows_per_bank,
-            blast_radius=config.prac.blast_radius,
-        )
-
-    return make
+    return DefenseSpec.of(
+        "panopticon", t_bit=t_bit, queue_size=queue_size
+    ).factory()
 
 
 def factory_for_variant(variant: MitigationVariant) -> DefenseFactory:
     """Factory for one of the paper's evaluated QPRAC configurations."""
-    return qprac_factory(variant)
+    return DefenseSpec.of(variant.value).factory()

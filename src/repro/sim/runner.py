@@ -1,11 +1,17 @@
-"""Experiment façade: one-call simulation of workloads and variant sweeps.
+"""Experiment façade: one-call simulation of workloads and defense sweeps.
 
 This is the API the benchmarks and examples use::
 
     from repro.sim import simulate_workload, run_variant_comparison
 
-    result = simulate_workload("429.mcf", variant=MitigationVariant.QPRAC)
+    result = simulate_workload("429.mcf", defense="qprac")
+    result = simulate_workload("429.mcf", defense="moat:proactive_every_n_refs=4")
     table = run_variant_comparison(["429.mcf", "470.lbm"], n_entries=20_000)
+
+Any defense is selected by a :class:`~repro.defenses.DefenseSpec` (or its
+string / :class:`~repro.params.MitigationVariant` shorthand), resolved
+against the defense registry; results carry the resolved spec's label, so
+distinct defenses are never conflated in tables or cache rows.
 
 Every run builds four homogeneous copies of the named workload (the
 paper's methodology) with per-core seeds, executes them to completion on
@@ -19,8 +25,10 @@ from dataclasses import dataclass, field
 
 from repro.controller.memctrl import DefenseFactory
 from repro.cpu.system import MulticoreSystem, SystemResult
+from repro.defenses import DefenseSpec, resolve_defense
+from repro.errors import ConfigError
 from repro.params import MitigationVariant, SystemConfig, default_config
-from repro.sim.factory import baseline_factory, qprac_factory
+from repro.sim.factory import qprac_factory
 from repro.workloads.suites import workload as lookup_workload
 from repro.workloads.synthetic import WorkloadSpec, generate_trace
 
@@ -65,6 +73,7 @@ def build_system(
 def simulate_workload(
     workload: str | WorkloadSpec,
     config: SystemConfig | None = None,
+    defense: DefenseSpec | MitigationVariant | str | None = None,
     variant: MitigationVariant | None = None,
     defense_factory: DefenseFactory | None = None,
     n_entries: int = DEFAULT_ENTRIES,
@@ -72,24 +81,46 @@ def simulate_workload(
 ) -> SystemResult:
     """Simulate one workload under one defense configuration.
 
-    ``variant`` selects a QPRAC policy; pass ``defense_factory`` instead to
-    run a non-QPRAC defense (baseline, MOAT, PrIDE, Mithril).
+    ``defense`` selects any registered defense — a
+    :class:`~repro.defenses.DefenseSpec`, a ``"name:key=value"`` string,
+    or a :class:`MitigationVariant` (shim for the QPRAC policies).
+    ``variant`` remains as a QPRAC-only alias, and ``defense_factory``
+    accepts a raw per-bank factory for unregistered engines; results from
+    registry-built factories are still labeled with their spec's name
+    (``"custom"`` only when the factory is truly anonymous).
     """
     config = config or default_config()
-    if variant is not None:
-        config = config.with_variant(variant)
+    selectors = (defense, variant, defense_factory)
+    if sum(s is not None for s in selectors) > 1:
+        raise ConfigError(
+            "pass only one of defense=, variant= or defense_factory="
+        )
+    spec: DefenseSpec | None = None
+    if defense is not None:
+        spec = resolve_defense(defense)
+    elif variant is not None:
+        spec = resolve_defense(variant)
+    elif defense_factory is not None:
+        spec = getattr(defense_factory, "spec", None)
+
+    if spec is not None and spec.variant is not None:
+        config = config.with_variant(spec.variant)
+    factory = defense_factory if defense_factory is not None else (
+        spec.factory() if spec is not None else None
+    )
     system = build_system(
         workload,
         config,
-        defense_factory=defense_factory,
+        defense_factory=factory,
         n_entries=n_entries,
         seed=seed,
     )
-    name = None
-    if defense_factory is not None and variant is None:
+    if spec is not None:
+        name = spec.label
+    elif defense_factory is not None:
         name = "custom"
-    elif variant is not None:
-        name = variant.value
+    else:
+        name = None  # default QPRAC factory: label by config.variant
     return system.run(variant_name=name)
 
 
@@ -100,20 +131,24 @@ def simulate_baseline(
     seed: int = 0,
 ) -> SystemResult:
     """The paper's non-secure baseline (PRAC timings, no ABO)."""
-    result = simulate_workload(
+    return simulate_workload(
         workload,
         config=config,
-        defense_factory=baseline_factory(),
+        defense="baseline",
         n_entries=n_entries,
         seed=seed,
     )
-    result.variant = "baseline"
-    return result
 
 
 @dataclass
 class VariantComparison:
-    """Per-workload slowdowns of each variant against the shared baseline."""
+    """Per-workload slowdowns of each defense against the shared baseline.
+
+    Keys of ``results`` are defense labels
+    (:attr:`~repro.defenses.DefenseSpec.label`): QPRAC variants keep
+    their historical names (``"qprac"``, ``"qprac+proactive"``, ...) and
+    parameterized defenses read like ``"mithril:t_rh=256"``.
+    """
 
     workloads: list[str]
     baseline: dict[str, SystemResult]
@@ -139,17 +174,19 @@ class VariantComparison:
 
 def run_variant_comparison(
     workloads: list[str | WorkloadSpec],
-    variants: tuple[MitigationVariant, ...] = EVALUATED_VARIANTS,
+    variants: tuple[MitigationVariant | DefenseSpec | str, ...] = EVALUATED_VARIANTS,
     config: SystemConfig | None = None,
     n_entries: int = DEFAULT_ENTRIES,
     seed: int = 0,
     jobs: int = 1,
     store=None,
 ) -> VariantComparison:
-    """Figure 14/15 style sweep: all variants over a workload list.
+    """Figure 14/15 style sweep: defenses over a workload list.
 
-    Routed through the :mod:`repro.exp` orchestrator: ``jobs`` fans the
-    grid out over worker processes, and passing a
+    ``variants`` accepts any mix of defense designators (QPRAC variants,
+    ``"moat"``, ``DefenseSpec.of("pride", t_rh=256)``, ...).  Routed
+    through the :mod:`repro.exp` orchestrator: ``jobs`` fans the grid out
+    over worker processes, and passing a
     :class:`~repro.exp.cache.ResultStore` as ``store`` reuses (and
     persists) results across invocations.  Output is identical at every
     ``jobs`` value.
@@ -159,7 +196,7 @@ def run_variant_comparison(
 
     spec = SweepSpec(
         workloads=tuple(_resolve_spec(w) for w in workloads),
-        variants=tuple(variants),
+        defenses=tuple(variants),
         config=config or default_config(),
         include_baseline=True,
         n_entries=n_entries,

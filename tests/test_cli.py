@@ -14,7 +14,8 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for cmd in ("security", "attacks", "bandwidth", "storage", "workloads"):
+        for cmd in ("security", "attacks", "bandwidth", "storage",
+                    "workloads", "defenses"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
 
@@ -38,23 +39,35 @@ class TestParser:
 
     def test_sweep_options(self):
         args = build_parser().parse_args(
-            ["sweep", "429.mcf", "541.leela", "--variants", "qprac",
+            ["sweep", "429.mcf", "541.leela", "--defenses", "qprac",
              "--jobs", "4", "--entries", "200", "--cache-dir", "/tmp/c",
              "--seed", "3", "--quiet"]
         )
         assert args.workloads == ["429.mcf", "541.leela"]
-        assert args.variants == ["qprac"]
+        assert args.defenses == ["qprac"]
         assert args.jobs == 4
         assert args.entries == 200
         assert args.cache_dir == "/tmp/c"
         assert args.seed == 3
         assert args.quiet and not args.no_cache
 
-    def test_sweep_rejects_unknown_variant(self):
+    def test_sweep_variants_alias_still_accepted(self):
+        args = build_parser().parse_args(
+            ["sweep", "429.mcf", "--variants", "qprac"]
+        )
+        assert args.defenses == ["qprac"]
+
+    def test_sweep_rejects_unknown_defense(self, capsys):
+        # Defense resolution happens at run time (names are an open
+        # registry, not a closed argparse choice list).
+        assert main(["sweep", "429.mcf", "--defenses", "nonsense"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown defense 'nonsense'" in err
+        assert "registered defenses" in err
+
+    def test_cache_requires_action(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["sweep", "429.mcf", "--variants", "nonsense"]
-            )
+            build_parser().parse_args(["cache"])
 
 
 class TestCommands:
@@ -91,8 +104,40 @@ class TestCommands:
         assert "qprac-noop" in out
         assert "541.leela" in out
 
+    def test_defenses_listing(self, capsys):
+        assert main(["defenses"]) == 0
+        out = capsys.readouterr().out
+        for name in ("baseline", "qprac+proactive-ea", "moat", "pride",
+                     "mithril", "panopticon", "uprac"):
+            assert name in out
+        assert "t_rh (required)" in out
+
+    def test_sweep_with_parameterized_defense(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "541.leela", "--defenses", "moat", "mithril:t_rh=512",
+             "--entries", "300", "--cache-dir", str(tmp_path), "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "moat" in out
+        assert "mithril:t_rh=512" in out
+
+    def test_cache_info_and_gc(self, capsys, tmp_path):
+        argv = ["sweep", "541.leela", "--defenses", "qprac", "--entries",
+                "300", "--cache-dir", str(tmp_path), "--quiet"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "live entries" in out and "2" in out
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kept 2 live entries" in out
+        # The cache still serves the sweep after compaction.
+        assert main(argv) == 0
+        assert "0 simulated, 2 from cache" in capsys.readouterr().out
+
     def test_sweep_tiny_run_then_cached_rerun(self, capsys, tmp_path):
-        argv = ["sweep", "541.leela", "--variants", "qprac", "--entries",
+        argv = ["sweep", "541.leela", "--defenses", "qprac", "--entries",
                 "400", "--cache-dir", str(tmp_path), "--quiet"]
         assert main(argv) == 0
         out = capsys.readouterr().out
@@ -105,7 +150,7 @@ class TestCommands:
 
     def test_sweep_no_cache(self, capsys, tmp_path):
         assert main(
-            ["sweep", "mb-adpcm", "--variants", "qprac", "--entries", "300",
+            ["sweep", "mb-adpcm", "--defenses", "qprac", "--entries", "300",
              "--no-cache", "--quiet"]
         ) == 0
         out = capsys.readouterr().out

@@ -99,6 +99,105 @@ class TestCorruptionTolerance:
         assert ResultStore(tmp_path).get("k") == {"v": 9}
 
 
+class TestMaintenance:
+    def test_info_counts_live_dead_and_damaged(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", {"v": 1})
+        store.put("k2", {"v": 2})
+        store.put("k1", {"v": 3})  # supersedes the first record
+        with store.path.open("a") as handle:
+            handle.write("garbage\n")
+        reopened = ResultStore(tmp_path)
+        info = reopened.info()
+        assert info.live_keys == 2
+        assert info.dead_records == 1
+        assert info.damaged_lines == 1
+        assert info.total_records == 3
+        assert info.size_bytes == store.path.stat().st_size
+
+    def test_info_on_missing_file(self, tmp_path):
+        info = ResultStore(tmp_path / "absent").info()
+        assert info.live_keys == 0 and info.size_bytes == 0
+
+    def test_compact_drops_dead_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", {"v": 1})
+        store.put("k1", {"v": 2})
+        with store.path.open("a") as handle:
+            handle.write("not json\n")
+        dirty = ResultStore(tmp_path)
+        before = dirty.info()
+        assert before.dead_records == 1 and before.damaged_lines == 1
+        after = dirty.compact()
+        assert after.live_keys == 1
+        assert after.dead_records == 0 and after.damaged_lines == 0
+        assert after.size_bytes < before.size_bytes
+        # The latest payload survives, and the store keeps working.
+        reopened = ResultStore(tmp_path)
+        assert reopened.info().dead_records == 0
+        assert reopened.get("k1") == {"v": 2}
+        reopened.put("k2", {"v": 9})
+        assert ResultStore(tmp_path).get("k2") == {"v": 9}
+
+    def test_compact_recovers_missing_trailing_newline(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k1", {"v": 1})
+        text = store.path.read_text()
+        store.path.write_text(text + '{"key": "half')
+        damaged = ResultStore(tmp_path)
+        damaged.compact()
+        damaged.put("k2", {"v": 2})
+        reopened = ResultStore(tmp_path)
+        assert reopened.skipped_lines == 0
+        assert reopened.get("k1") == {"v": 1}
+        assert reopened.get("k2") == {"v": 2}
+
+    def test_compact_drops_code_version_stale_rows(self, tmp_path):
+        from repro.exp import code_version_salt
+
+        store = ResultStore(tmp_path)
+        store.put("old", {"v": 1}, salt="0" * 64)  # older simulator
+        store.put("now", {"v": 2}, salt=code_version_salt())
+        store.put("raw", {"v": 3})  # unsalted: vintage unknown, kept
+        reopened = ResultStore(tmp_path)
+        assert reopened.info().stale_records == 1
+        after = reopened.compact()
+        assert after.live_keys == 2 and after.stale_records == 0
+        survivors = ResultStore(tmp_path)
+        assert survivors.get("old") is None
+        assert survivors.get("now") == {"v": 2}
+        assert survivors.get("raw") == {"v": 3}
+        # The current-salt tag survives the rewrite.
+        assert survivors.info().stale_records == 0
+
+    def test_sweep_rows_are_salt_tagged(self, tmp_path):
+        from repro.exp import SweepSpec, code_version_salt, run_sweep
+
+        spec = SweepSpec.build(["541.leela"], ["qprac"], n_entries=300)
+        run_sweep(spec, jobs=1, store=ResultStore(tmp_path))
+        reopened = ResultStore(tmp_path)
+        assert reopened._salts  # every row tagged
+        assert set(reopened._salts.values()) == {code_version_salt()}
+
+    def test_compact_preserves_concurrent_appends(self, tmp_path):
+        # A second process appends after this store loaded; compaction
+        # re-reads the file and must keep that record.
+        store = ResultStore(tmp_path)
+        store.put("k1", {"v": 1})
+        other = ResultStore(tmp_path)
+        store.put("k2", {"v": 2})  # invisible to `other`'s index
+        other.compact()
+        reopened = ResultStore(tmp_path)
+        assert reopened.get("k1") == {"v": 1}
+        assert reopened.get("k2") == {"v": 2}
+
+    def test_compact_empty_store_is_noop(self, tmp_path):
+        store = ResultStore(tmp_path)
+        info = store.compact()
+        assert info.live_keys == 0
+        assert not store.path.exists()
+
+
 class TestDefaultDirectory:
     def test_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))

@@ -113,6 +113,35 @@ class TestCaching:
         assert sweep.cache_hits == 0 and sweep.executed == 1
 
 
+class TestMixedDefenseGrids:
+    MIXED = ("qprac", "moat", "pride:t_rh=256", "mithril:t_rh=256")
+
+    def test_mixed_grid_runs_and_labels_by_defense(self):
+        sweep = run_sweep(
+            tiny_spec(workloads=("541.leela",), variants=self.MIXED), jobs=1
+        )
+        table = sweep.results_by_variant()
+        assert set(table) == {"baseline", *self.MIXED}
+        # Distinct defenses are never conflated: each row keeps its label.
+        for label in self.MIXED:
+            assert table[label]["541.leela"].variant == label
+
+    def test_mixed_grid_jobs4_matches_jobs1_byte_identical(self):
+        spec = tiny_spec(workloads=("541.leela",), variants=self.MIXED)
+        serial = run_sweep(spec, jobs=1)
+        parallel = run_sweep(spec, jobs=4)
+        assert serial.executed == parallel.executed == 5
+        assert aggregate_bytes(serial) == aggregate_bytes(parallel)
+
+    def test_mixed_grid_replays_from_cache(self, tmp_path):
+        spec = tiny_spec(workloads=("541.leela",), variants=self.MIXED)
+        first = run_sweep(spec, jobs=1, store=ResultStore(tmp_path))
+        assert first.cache_hits == 0
+        again = run_sweep(spec, jobs=4, store=ResultStore(tmp_path))
+        assert again.executed == 0 and again.cache_hits == 5
+        assert aggregate_bytes(first) == aggregate_bytes(again)
+
+
 class TestParallelDeterminism:
     def test_jobs4_matches_jobs1_byte_identical(self):
         spec = tiny_spec(

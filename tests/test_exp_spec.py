@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ConfigError
+from repro.defenses import DefenseSpec
+from repro.errors import ConfigError, ReproError
 from repro.exp import BASELINE, SweepSpec, overrides_label
 from repro.params import MitigationVariant, default_config
 
@@ -72,12 +73,52 @@ class TestExpansion:
     def test_variant_applied_to_config(self):
         jobs = make_spec().expand()
         assert jobs[0].variant is None
+        assert jobs[0].defense.is_baseline
         assert jobs[0].variant_name == BASELINE
         assert jobs[1].config.variant is MitigationVariant.QPRAC
+        assert jobs[1].variant is MitigationVariant.QPRAC
 
-    def test_string_variants_resolved(self):
+    def test_string_defenses_resolved(self):
         spec = SweepSpec.build(["541.leela"], ["qprac"], n_entries=100)
-        assert spec.variants == (MitigationVariant.QPRAC,)
+        assert spec.defenses == (DefenseSpec("qprac"),)
+        assert spec.defenses[0].variant is MitigationVariant.QPRAC
+
+    def test_mixed_defense_grid(self):
+        spec = SweepSpec.build(
+            ["541.leela"],
+            [MitigationVariant.QPRAC, "moat", DefenseSpec.of("pride", t_rh=256)],
+            n_entries=100,
+        )
+        jobs = spec.expand()
+        assert [j.label for j in jobs] == [
+            "541.leela/baseline",
+            "541.leela/qprac",
+            "541.leela/moat",
+            "541.leela/pride:t_rh=256",
+        ]
+        # Non-QPRAC defenses leave the config's variant untouched.
+        assert jobs[2].variant is None
+        assert jobs[2].config.variant is spec.config.variant
+
+    def test_duplicate_defenses_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate defenses"):
+            make_spec(variants=("qprac", MitigationVariant.QPRAC))
+
+    def test_baseline_in_defenses_conflicts_with_include_baseline(self):
+        with pytest.raises(ConfigError, match="already included"):
+            make_spec(variants=("qprac", "baseline"))
+        spec = make_spec(
+            variants=("baseline", "qprac"), include_baseline=False
+        )
+        assert spec.expand()[0].defense.is_baseline
+
+    def test_unregistered_defense_rejected(self):
+        with pytest.raises(ReproError, match="unknown defense 'pancake'"):
+            make_spec(variants=("pancake",))
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(ReproError, match="requires parameter"):
+            make_spec(variants=("mithril",))
 
     def test_unknown_override_key_rejected(self):
         with pytest.raises(ConfigError, match="unknown PRAC override"):
@@ -134,8 +175,10 @@ class TestCacheKey:
         # Orchestration/reporting/CLI edits must leave the cache warm.
         for non_model in ("exp", "analysis", "cli.py", "energy", "security"):
             assert non_model not in SIMULATION_SOURCES
-        # Trace generation and the device model must invalidate it.
-        for model in ("workloads", "sim", "core", "params.py"):
+        # Trace generation and the device model must invalidate it — and
+        # so must every defense implementation.
+        for model in ("workloads", "sim", "core", "params.py",
+                      "defenses", "mitigations"):
             assert model in SIMULATION_SOURCES
         assert len(code_version_salt()) == 64
         assert code_version_salt() == code_version_salt()
@@ -146,3 +189,34 @@ class TestCacheKey:
             config=default_config().with_prac(n_bo=64)
         ).expand()[0]
         assert base.cache_key() != other.cache_key()
+
+    def test_key_changes_with_defense_params(self):
+        plain = make_spec(
+            variants=("moat",), include_baseline=False
+        ).expand()[0]
+        tuned = make_spec(
+            variants=("moat:proactive_every_n_refs=4",),
+            include_baseline=False,
+        ).expand()[0]
+        assert plain.cache_key() != tuned.cache_key()
+
+    def test_key_is_independent_of_registration_order(self):
+        """A job's key depends only on the spec's own (name, params)
+        identity — registering additional defenses must not move it."""
+        from repro.defenses import register_defense
+        from repro.defenses.registry import REGISTRY
+
+        job = make_spec(variants=("moat",)).expand()[1]
+        before = job.cache_key()
+
+        name = "order-probe-defense"
+        assert name not in REGISTRY
+
+        @register_defense(name, summary="cache-key stability probe")
+        def build_probe(bank_index, config):
+            raise AssertionError("never built")
+
+        try:
+            assert job.cache_key() == before
+        finally:
+            REGISTRY._entries.pop(name)
