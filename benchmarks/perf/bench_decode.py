@@ -1,0 +1,48 @@
+"""Microbenchmark: physical-address decode forms.
+
+``decode()`` builds a frozen ``DramAddress`` per call; ``decode_flat()``
+returns a memoized plain tuple with the flat bank index precomputed.
+The controller's ``enqueue`` goes further and inlines the bit slicing
+entirely (the LLC filters re-touches, so its address stream is nearly
+all first-sight misses); this benchmark shows why each form exists.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.dram.address import AddressMapper
+from repro.params import DRAMOrganization
+
+
+def main() -> None:
+    org = DRAMOrganization()
+    rng = random.Random(0)
+    max_addr = 1 << AddressMapper(org).address_bits
+    unique = [rng.randrange(max_addr) for _ in range(100_000)]
+    reused = [rng.choice(unique[:64]) for _ in range(100_000)]
+
+    for label, addrs in (("unique-heavy", unique), ("reuse-heavy", reused)):
+        mapper = AddressMapper(org)
+        started = time.perf_counter()
+        for addr in addrs:
+            mapper.decode(addr)
+        dataclass_rate = len(addrs) / (time.perf_counter() - started)
+
+        mapper = AddressMapper(org)
+        decode_flat = mapper.decode_flat
+        started = time.perf_counter()
+        for addr in addrs:
+            decode_flat(addr)
+        flat_rate = len(addrs) / (time.perf_counter() - started)
+
+        print(
+            f"{label:12s}: decode() {dataclass_rate:12,.0f}/s   "
+            f"decode_flat() {flat_rate:12,.0f}/s   "
+            f"({flat_rate / dataclass_rate:.2f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

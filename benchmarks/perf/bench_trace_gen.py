@@ -1,0 +1,28 @@
+"""Microbenchmark: synthetic trace generation (vectorized encode)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.params import DRAMOrganization
+from repro.workloads.suites import workload
+from repro.workloads.synthetic import _generate_trace_cached, generate_trace
+
+
+def main() -> None:
+    org = DRAMOrganization()
+    for name in ("429.mcf", "470.lbm", "ycsb-a"):
+        spec = workload(name)
+        best = float("inf")
+        for repeat in range(5):
+            _generate_trace_cached.cache_clear()  # honest cold-start cost
+            started = time.perf_counter()
+            trace = generate_trace(spec, 20_000, org, seed=repeat)
+            best = min(best, time.perf_counter() - started)
+        rate = len(trace) / best
+        print(f"{name:10s}: {best * 1e3:7.2f} ms / 20k entries "
+              f"({rate:12,.0f} entries/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,16 +4,25 @@ Paper: QPRAC stays at 0.8-0.9% slowdown across PRAC-1/2/4 (more RFMs per
 Alert cost more per Alert but proportionally reduce Alert count); the
 proactive variants stay at 0%.  PRAC-2/PRAC-4 cut Alert counts by
 ~1.9x / ~3.3x vs PRAC-1.
+
+Routed through the :mod:`repro.exp` orchestrator: one DefenseSpec-keyed
+sweep over variants x PRAC-level override sets, parallel with
+``REPRO_BENCH_JOBS`` and fully cached under ``REPRO_BENCH_CACHE``.
 """
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_workloads, emit_table
+from conftest import bench_entries, bench_sweep, bench_workloads, emit_table
 
+from repro.exp import SweepSpec
 from repro.params import MitigationVariant
-from repro.sim import simulate_workload
 
-WORKLOADS = None  # first three bench workloads (memory-intensive ones)
+VARIANTS = (
+    MitigationVariant.QPRAC,
+    MitigationVariant.QPRAC_PROACTIVE_EA,
+)
+
+PRAC_LEVELS = (1, 2, 4)
 
 
 def test_fig16_prac_level_sensitivity(benchmark, config, baselines):
@@ -21,22 +30,29 @@ def test_fig16_prac_level_sensitivity(benchmark, config, baselines):
     entries = bench_entries()
 
     def build():
+        spec = SweepSpec(
+            workloads=tuple(names),
+            defenses=VARIANTS,
+            overrides=tuple(
+                {"n_mit": n_mit, "abo_delay": None} for n_mit in PRAC_LEVELS
+            ),
+            config=config,
+            include_baseline=False,
+            n_entries=entries,
+        )
+        sweep = bench_sweep(spec)
         rows = []
         alerts_by_level = {}
-        for n_mit in (1, 2, 4):
-            cfg = config.with_prac(n_mit=n_mit, abo_delay=None)
-            for variant in (
-                MitigationVariant.QPRAC,
-                MitigationVariant.QPRAC_PROACTIVE_EA,
-            ):
-                slow = []
-                alerts = 0
-                for name in names:
-                    run = simulate_workload(
-                        name, config=cfg, variant=variant, n_entries=entries
-                    )
-                    slow.append(run.slowdown_pct_vs(baselines[name]))
-                    alerts += run.alerts
+        for overrides in sweep.spec.overrides:
+            n_mit = dict(overrides)["n_mit"]
+            table = sweep.results_by_variant(overrides=overrides)
+            for variant in VARIANTS:
+                runs = table[variant.value]
+                slow = [
+                    runs[name].slowdown_pct_vs(baselines[name])
+                    for name in names
+                ]
+                alerts = sum(runs[name].alerts for name in names)
                 rows.append(
                     [f"PRAC-{n_mit}", variant.value,
                      round(sum(slow) / len(slow), 2), alerts]

@@ -9,20 +9,20 @@ Two complementary reproductions:
 * the **event-driven simulation** of a pool attacker against the real
   QPRAC state machines, which is more favourable to QPRAC because the
   attacker honestly pays for opportunistically-mitigated pool rows.
+
+The simulated attacks are routed through :mod:`repro.exp`'s
+content-addressed :class:`~repro.exp.AttackJob` layer, so they replay
+from the same cache (``REPRO_BENCH_CACHE``) as the workload sweeps.
 """
 
 from __future__ import annotations
 
-from conftest import emit, emit_series
+from conftest import bench_store, emit, emit_series
 
 from repro.analysis.report import render_series
+from repro.exp import attack_job, run_attack_jobs
 from repro.params import MitigationVariant, RfmScope
-from repro.sim import (
-    analytical_bandwidth_reduction,
-    baseline_factory,
-    qprac_factory,
-    run_bandwidth_attack,
-)
+from repro.sim import analytical_bandwidth_reduction
 
 NBO_VALUES = (16, 32, 64, 128)
 
@@ -70,32 +70,29 @@ def test_fig19_analytical_model(benchmark):
 
 
 def test_fig19_simulated_attack(benchmark, config):
-    def build():
-        points = {}
-        base = run_bandwidth_attack(
-            config,
-            defense_factory=baseline_factory(),
-            measure_ns=120_000,
-            warmup_ns=40_000,
-            pool_rows_per_bank=8,
+    params = dict(measure_ns=120_000, warmup_ns=40_000, pool_rows_per_bank=8)
+    grid = [
+        (label, n_bo, variant)
+        for n_bo in (16, 64)
+        for variant, label in (
+            (MitigationVariant.QPRAC, "QPRAC"),
+            (MitigationVariant.QPRAC_PROACTIVE, "QPRAC+Pro"),
         )
-        for n_bo in (16, 64):
-            for variant, label in (
-                (MitigationVariant.QPRAC, "QPRAC"),
-                (MitigationVariant.QPRAC_PROACTIVE, "QPRAC+Pro"),
-            ):
-                cfg = config.with_prac(n_bo=n_bo).with_variant(variant)
-                run = run_bandwidth_attack(
-                    cfg,
-                    defense_factory=qprac_factory(variant),
-                    measure_ns=120_000,
-                    warmup_ns=40_000,
-                    pool_rows_per_bank=8,
-                )
-                points[(label, n_bo)] = (
-                    round(run.reduction_vs(base) * 100, 1), run.alerts
-                )
-        return points
+    ]
+
+    def build():
+        jobs = [attack_job("baseline", config, **params)] + [
+            attack_job(variant, config.with_prac(n_bo=n_bo), **params)
+            for _label, n_bo, variant in grid
+        ]
+        results = run_attack_jobs(jobs, store=bench_store())
+        base = results[0]
+        return {
+            (label, n_bo): (
+                round(run.reduction_vs(base) * 100, 1), run.alerts
+            )
+            for (label, n_bo, _variant), run in zip(grid, results[1:])
+        }
 
     points = benchmark.pedantic(build, rounds=1, iterations=1)
     series = {

@@ -3,57 +3,70 @@
 Paper: both under ~2% at N_BO >= 32 (MOAT via its dual threshold, QPRAC
 via energy-aware proactive mitigation); rising at N_BO = 16 (MOAT 5.7%,
 QPRAC 4.1% in the paper's traces) with QPRAC at or below MOAT.
+
+Routed through the :mod:`repro.exp` orchestrator: one DefenseSpec-keyed
+sweep (MOAT selected by registry name, with its proactive cadence as a
+spec parameter) over N_BO override sets, parallel with
+``REPRO_BENCH_JOBS`` and fully cached under ``REPRO_BENCH_CACHE``.
 """
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_workloads, emit_table
+from conftest import bench_entries, bench_sweep, bench_workloads, emit_table
 
 from repro.energy import mitigation_energy_pct
+from repro.exp import SweepSpec
 from repro.params import MitigationVariant
-from repro.sim import moat_factory, qprac_factory, simulate_workload
+
+DEFENSES = (
+    "moat",
+    "moat:proactive_every_n_refs=1",
+    MitigationVariant.QPRAC,
+    MitigationVariant.QPRAC_PROACTIVE_EA,
+)
+
+LABELS = ("MOAT", "MOAT+Pro", "QPRAC", "QPRAC+Pro-EA")
+
+NBO_VALUES = (16, 32, 64)
 
 
 def test_fig22_moat_vs_qprac_energy(benchmark, config):
     names = list(bench_workloads())[:2]
     entries = bench_entries()
 
-    def mean_energy(cfg, factory):
-        values = []
-        for name in names:
-            run = simulate_workload(
-                name, config=cfg, defense_factory=factory, n_entries=entries
-            )
-            values.append(mitigation_energy_pct(run, cfg))
-        return sum(values) / len(values)
-
     def build():
+        spec = SweepSpec(
+            workloads=tuple(names),
+            defenses=DEFENSES,
+            overrides=tuple({"n_bo": n_bo} for n_bo in NBO_VALUES),
+            config=config,
+            include_baseline=False,
+            n_entries=entries,
+        )
+        sweep = bench_sweep(spec)
         table = {}
-        for n_bo in (16, 32, 64):
+        for overrides in sweep.spec.overrides:
+            n_bo = dict(overrides)["n_bo"]
             cfg = config.with_prac(n_bo=n_bo)
-            table[("MOAT", n_bo)] = mean_energy(cfg, moat_factory())
-            table[("MOAT+Pro", n_bo)] = mean_energy(
-                cfg, moat_factory(proactive_every_n_refs=1)
-            )
-            table[("QPRAC", n_bo)] = mean_energy(
-                cfg, qprac_factory(MitigationVariant.QPRAC)
-            )
-            table[("QPRAC+Pro-EA", n_bo)] = mean_energy(
-                cfg, qprac_factory(MitigationVariant.QPRAC_PROACTIVE_EA)
-            )
+            results = sweep.results_by_variant(overrides=overrides)
+            for label, defense in zip(LABELS, sweep.spec.defenses):
+                runs = results[defense.label]
+                values = [
+                    mitigation_energy_pct(runs[name], cfg) for name in names
+                ]
+                table[(label, n_bo)] = sum(values) / len(values)
         return table
 
     table = benchmark.pedantic(build, rounds=1, iterations=1)
-    labels = ("MOAT", "MOAT+Pro", "QPRAC", "QPRAC+Pro-EA")
     rows = [
-        [n_bo] + [round(table[(label, n_bo)], 2) for label in labels]
-        for n_bo in (16, 32, 64)
+        [n_bo] + [round(table[(label, n_bo)], 2) for label in LABELS]
+        for n_bo in NBO_VALUES
     ]
     emit_table(
         "fig22",
         "Figure 22: mitigation energy overhead %% vs N_BO "
         "(paper: <2%% @32+, rising @16)",
-        ["N_BO"] + list(labels),
+        ["N_BO"] + list(LABELS),
         rows,
     )
     for n_bo in (32, 64):

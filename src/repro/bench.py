@@ -1,0 +1,321 @@
+"""Simulator performance benchmark harness (``python -m repro bench``).
+
+The QPRAC reproduction regenerates every paper figure by replaying
+millions of nanosecond-granularity events through
+:class:`repro.engine.EventQueue`; the experiment orchestrator multiplies
+that cost across sweep grids.  This module is the *proof layer* for the
+simulator's throughput: it runs a fixed set of workload x defense cells,
+reports events/second and wall time, persists the measurement as a
+``BENCH_<timestamp>.json`` trajectory point, and compares against the
+previous point with a regression threshold.
+
+Usage::
+
+    python -m repro bench                 # full cells, 5 repeats, writes JSON
+    python -m repro bench --quick         # small cells, 1 repeat (CI smoke)
+    python -m repro bench --no-write      # measure + compare only
+
+Profiling a cell is one command away (the harness is deliberately
+``cProfile``-friendly: no subprocesses, no threads)::
+
+    python -m cProfile -s cumulative -m repro bench --quick --repeats 1
+
+Trajectory format (``BENCH_*.json``, schema 1):
+
+``meta``
+    timestamp, quick flag, repeats, and a host fingerprint
+    (python/platform) — wall-clock numbers are only comparable between
+    runs on the same machine.
+``cells``
+    one record per workload x defense cell: ``n_entries``, best
+    ``wall_s`` over the repeats, simulator ``events`` processed,
+    ``events_per_s`` and the simulated ``sim_time_ns``.
+``reference``
+    the headline cell (``429.mcf x qprac``) echoed for quick reading.
+
+Cells are measured end to end — trace generation, system construction
+and the event loop — exactly what ``simulate_workload`` costs a sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ReproError
+
+#: Trajectory file schema; bump on layout changes.
+BENCH_SCHEMA = 1
+
+#: File-name prefix of trajectory points (sorted lexically = sorted by time).
+BENCH_PREFIX = "BENCH_"
+
+#: The standard workload x defense cells measured by every bench run.
+DEFAULT_CELLS: tuple[tuple[str, str], ...] = (
+    ("429.mcf", "qprac"),
+    ("429.mcf", "baseline"),
+    ("470.lbm", "qprac+proactive"),
+    ("ycsb-a", "moat"),
+)
+
+#: The headline cell: the reference for speedup/regression summaries.
+REFERENCE_CELL: tuple[str, str] = ("429.mcf", "qprac")
+
+#: Entries per core: full runs match ``simulate_workload``'s default.
+DEFAULT_ENTRIES = 20_000
+QUICK_ENTRIES = 4_000
+
+#: Regression gate: a cell slower than the previous trajectory point by
+#: more than this fraction fails the comparison.
+DEFAULT_REGRESSION_THRESHOLD_PCT = 20.0
+
+
+@dataclass
+class CellResult:
+    """Measurement of one workload x defense cell."""
+
+    workload: str
+    defense: str
+    n_entries: int
+    wall_s: float
+    events: int
+    events_per_s: float
+    sim_time_ns: float
+    repeats: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.workload}/{self.defense}"
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "defense": self.defense,
+            "n_entries": self.n_entries,
+            "wall_s": self.wall_s,
+            "events": self.events,
+            "events_per_s": self.events_per_s,
+            "sim_time_ns": self.sim_time_ns,
+            "repeats": self.repeats,
+        }
+
+
+@dataclass
+class BenchReport:
+    """One trajectory point: all cells of one bench run."""
+
+    cells: list[CellResult]
+    quick: bool
+    repeats: int
+    timestamp: str
+    host: dict = field(default_factory=dict)
+
+    def cell(self, workload: str, defense: str) -> CellResult | None:
+        for cell in self.cells:
+            if cell.workload == workload and cell.defense == defense:
+                return cell
+        return None
+
+    @property
+    def reference(self) -> CellResult | None:
+        return self.cell(*REFERENCE_CELL)
+
+    def to_dict(self) -> dict:
+        reference = self.reference
+        return {
+            "schema": BENCH_SCHEMA,
+            "meta": {
+                "timestamp": self.timestamp,
+                "quick": self.quick,
+                "repeats": self.repeats,
+                "host": self.host,
+            },
+            "cells": [cell.to_dict() for cell in self.cells],
+            "reference": reference.to_dict() if reference else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchReport":
+        meta = payload.get("meta", {})
+        cells = [
+            CellResult(
+                workload=c["workload"],
+                defense=c["defense"],
+                n_entries=c["n_entries"],
+                wall_s=c["wall_s"],
+                events=c["events"],
+                events_per_s=c["events_per_s"],
+                sim_time_ns=c["sim_time_ns"],
+                repeats=c.get("repeats", 1),
+            )
+            for c in payload.get("cells", [])
+        ]
+        return cls(
+            cells=cells,
+            quick=bool(meta.get("quick", False)),
+            repeats=int(meta.get("repeats", 1)),
+            timestamp=str(meta.get("timestamp", "")),
+            host=dict(meta.get("host", {})),
+        )
+
+
+def host_fingerprint() -> dict:
+    """Machine facts that make wall-clock numbers (in)comparable."""
+    return {
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def _measure_cell(
+    workload: str, defense: str, n_entries: int, seed: int = 0
+) -> tuple[float, int, float]:
+    """Run one cell end to end; returns (wall_s, events, sim_time_ns).
+
+    Mirrors :func:`repro.sim.runner.simulate_workload` — defense
+    resolution, trace generation, system construction and the event loop
+    are all inside the timed window — but keeps a handle on the system
+    so the event count is observable.
+    """
+    from repro.defenses import resolve_defense
+    from repro.params import default_config
+    from repro.sim.runner import build_system
+
+    started = time.perf_counter()
+    spec = resolve_defense(defense)
+    config = default_config()
+    if spec.variant is not None:
+        config = config.with_variant(spec.variant)
+    system = build_system(
+        workload,
+        config,
+        defense_factory=spec.factory(),
+        n_entries=n_entries,
+        seed=seed,
+    )
+    result = system.run(variant_name=spec.label)
+    wall = time.perf_counter() - started
+    return wall, system.events.events_processed, result.sim_time_ns
+
+
+def run_bench(
+    cells: Sequence[tuple[str, str]] = DEFAULT_CELLS,
+    n_entries: int = DEFAULT_ENTRIES,
+    repeats: int = 5,
+    quick: bool = False,
+    progress=None,
+) -> BenchReport:
+    """Measure every cell ``repeats`` times; keep each cell's best time."""
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    results: list[CellResult] = []
+    for workload, defense in cells:
+        best_wall = float("inf")
+        events = 0
+        sim_time = 0.0
+        for _ in range(repeats):
+            wall, run_events, run_sim_time = _measure_cell(
+                workload, defense, n_entries
+            )
+            if wall < best_wall:
+                best_wall = wall
+            events = run_events
+            sim_time = run_sim_time
+        cell = CellResult(
+            workload=workload,
+            defense=defense,
+            n_entries=n_entries,
+            wall_s=best_wall,
+            events=events,
+            events_per_s=events / best_wall if best_wall > 0 else 0.0,
+            sim_time_ns=sim_time,
+            repeats=repeats,
+        )
+        results.append(cell)
+        if progress is not None:
+            progress(
+                f"{cell.key}: {cell.wall_s:.3f}s "
+                f"({cell.events_per_s:,.0f} events/s)"
+            )
+    return BenchReport(
+        cells=results,
+        quick=quick,
+        repeats=repeats,
+        timestamp=time.strftime("%Y%m%dT%H%M%SZ", time.gmtime()),
+        host=host_fingerprint(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Trajectory persistence and comparison
+# ----------------------------------------------------------------------
+def trajectory_files(directory: str | Path = ".") -> list[Path]:
+    """Committed trajectory points, oldest first (timestamped names)."""
+    return sorted(Path(directory).glob(f"{BENCH_PREFIX}*.json"))
+
+
+def load_report(path: str | Path) -> BenchReport:
+    with open(path) as handle:
+        return BenchReport.from_dict(json.load(handle))
+
+
+def write_report(report: BenchReport, directory: str | Path = ".") -> Path:
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{BENCH_PREFIX}{report.timestamp}.json"
+    path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return path
+
+
+@dataclass
+class CellComparison:
+    """One cell measured against the previous trajectory point."""
+
+    key: str
+    wall_s: float
+    previous_wall_s: float
+
+    @property
+    def speedup(self) -> float:
+        """>1 means faster than the previous point."""
+        return self.previous_wall_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def regression_pct(self) -> float:
+        """Positive when slower than the previous point."""
+        if self.previous_wall_s <= 0:
+            return 0.0
+        return (self.wall_s / self.previous_wall_s - 1.0) * 100.0
+
+
+def compare_reports(
+    current: BenchReport, previous: BenchReport
+) -> list[CellComparison]:
+    """Pair up cells measured in both reports (matching entry counts)."""
+    comparisons = []
+    for cell in current.cells:
+        prev = previous.cell(cell.workload, cell.defense)
+        if prev is None or prev.n_entries != cell.n_entries:
+            continue
+        comparisons.append(
+            CellComparison(
+                key=cell.key,
+                wall_s=cell.wall_s,
+                previous_wall_s=prev.wall_s,
+            )
+        )
+    return comparisons
+
+
+def regressions(
+    comparisons: Sequence[CellComparison],
+    threshold_pct: float = DEFAULT_REGRESSION_THRESHOLD_PCT,
+) -> list[CellComparison]:
+    return [c for c in comparisons if c.regression_pct > threshold_pct]

@@ -9,6 +9,7 @@ Usage::
     python -m repro defenses          # list the registered defenses
     python -m repro cache info        # result-cache entry counts
     python -m repro cache gc          # compact the result cache
+    python -m repro bench             # simulator throughput benchmark
     python -m repro bandwidth         # Figure 19: performance attacks
     python -m repro storage           # Table IV: tracker SRAM
     python -m repro workloads         # list the 57-workload suite
@@ -191,6 +192,105 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        DEFAULT_CELLS,
+        DEFAULT_ENTRIES,
+        QUICK_ENTRIES,
+        compare_reports,
+        load_report,
+        regressions,
+        run_bench,
+        trajectory_files,
+        write_report,
+    )
+
+    entries = args.entries
+    if entries is None:
+        entries = QUICK_ENTRIES if args.quick else DEFAULT_ENTRIES
+    repeats = args.repeats
+    if repeats is None:
+        repeats = 1 if args.quick else 5
+    report = run_bench(
+        cells=DEFAULT_CELLS,
+        n_entries=entries,
+        repeats=repeats,
+        quick=args.quick,
+        progress=None if args.quiet else stderr_progress_line,
+    )
+    rows = [
+        [
+            c.workload, c.defense, c.n_entries, round(c.wall_s, 3),
+            c.events, f"{c.events_per_s:,.0f}",
+        ]
+        for c in report.cells
+    ]
+    print(render_table(
+        f"Simulator benchmark ({entries} accesses/core, "
+        f"best of {repeats})",
+        ["workload", "defense", "entries", "wall s", "events", "events/s"],
+        rows,
+    ))
+
+    previous_path = None
+    if args.baseline:
+        previous_path = args.baseline
+    else:
+        trajectory = trajectory_files(args.out_dir)
+        if trajectory:
+            previous_path = trajectory[-1]
+
+    status = 0
+    if previous_path is not None and not args.no_compare:
+        previous = load_report(previous_path)
+        comparisons = compare_reports(report, previous)
+        if previous.host != report.host:
+            print(
+                f"note: baseline {previous_path} was recorded on a "
+                "different host; wall-clock comparison is approximate",
+                file=sys.stderr,
+            )
+        if comparisons:
+            print()
+            print(render_table(
+                f"vs {previous_path}",
+                ["cell", "wall s", "prev s", "speedup", "regression %"],
+                [
+                    [
+                        c.key, round(c.wall_s, 3),
+                        round(c.previous_wall_s, 3),
+                        f"{c.speedup:.2f}x", round(c.regression_pct, 1),
+                    ]
+                    for c in comparisons
+                ],
+            ))
+            regressed = regressions(comparisons, args.threshold)
+            if regressed:
+                worst = max(regressed, key=lambda c: c.regression_pct)
+                print(
+                    f"REGRESSION: {len(regressed)} cell(s) slower than "
+                    f"{previous_path} by more than {args.threshold}% "
+                    f"(worst: {worst.key} +{worst.regression_pct:.1f}%)",
+                    file=sys.stderr,
+                )
+                status = 1
+        else:
+            print(
+                f"note: no comparable cells in {previous_path} "
+                "(different entry counts)",
+                file=sys.stderr,
+            )
+
+    if not args.no_write:
+        path = write_report(report, args.out_dir)
+        print(f"wrote {path}")
+    return status
+
+
+def stderr_progress_line(line: str) -> None:
+    print(line, file=sys.stderr)
+
+
 def _cmd_bandwidth(args: argparse.Namespace) -> int:
     from repro.params import RfmScope
     from repro.sim import analytical_bandwidth_reduction
@@ -309,6 +409,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result cache directory (default: "
                    "$REPRO_CACHE_DIR or ~/.cache/qprac-repro)")
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "bench",
+        help="simulator throughput benchmark (BENCH_*.json trajectory)",
+        description="Measure the simulator's end-to-end throughput on "
+        "standard workload x defense cells, write a BENCH_<timestamp>.json "
+        "trajectory point, and compare against the previous point.",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: 4000 accesses/core, 1 repeat")
+    p.add_argument("--entries", type=int, default=None,
+                   help="accesses per core per cell "
+                   "(default 20000; 4000 with --quick)")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="repeats per cell; best time wins "
+                   "(default 5; 1 with --quick)")
+    p.add_argument("--out-dir", default=".",
+                   help="directory of the BENCH_*.json trajectory "
+                   "(default: current directory)")
+    p.add_argument("--baseline", default=None,
+                   help="explicit previous BENCH_*.json to compare against "
+                   "(default: newest in --out-dir)")
+    p.add_argument("--threshold", type=float, default=20.0,
+                   help="fail when a cell regresses by more than this "
+                   "percent vs the baseline (default 20)")
+    p.add_argument("--no-write", action="store_true",
+                   help="measure and compare, but write no trajectory point")
+    p.add_argument("--no-compare", action="store_true",
+                   help="skip the regression comparison")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-cell progress on stderr")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("bandwidth", help="performance attack (Fig 19)")
     p.set_defaults(func=_cmd_bandwidth)

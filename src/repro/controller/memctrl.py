@@ -20,11 +20,21 @@ The model does not simulate individual command-bus slots; command bandwidth
 is never the bottleneck for the experiments reproduced here (the paper's
 overheads are entirely RFM/REF blackout effects), and the data bus *is*
 modelled because multi-core runs saturate it.
+
+Hot-path layout: every event handler the controller schedules is a
+pre-bound per-bank / per-rank callable built once at construction
+(``functools.partial`` over a method), never a closure allocated per
+event; addresses are bit-sliced inline in :meth:`MemorySystem.enqueue`
+(decoded exactly once per access — the LLC filters re-touches, so a memo
+would not pay for itself there); the whole service path runs as one
+function (:meth:`MemorySystem._consider_bank`); and the REF-window test
+is served from a per-rank cached REF-free interval so the steady state
+pays two float compares instead of a modulo per timing query.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
 from repro.controller.request import Request
@@ -33,43 +43,86 @@ from repro.dram.address import AddressMapper
 from repro.dram.bank import BankState
 from repro.errors import ConfigError
 from repro.params import RfmScope, SystemConfig
-from repro.engine import EventQueue
+from repro.engine import EventQueue, _heappush
 
 DefenseFactory = Callable[[int, SystemConfig], BankDefense]
 
+_new_request = object.__new__
 
-@dataclass
+
 class RankState:
-    """Rank-scoped protocol and blackout state."""
+    """Rank-scoped protocol and blackout state (one ``__slots__`` record)."""
 
-    index: int
-    banks: list[BankState]
-    ref_offset: float
-    #: Dynamic blackout intervals (RFMab service), sorted by start.
-    blackouts: list[tuple[float, float]] = field(default_factory=list)
-    acts_since_rfm: int = 1 << 30
-    alert_busy_until: float = 0.0
-    #: Rank-level ACT-to-ACT gate (tRRD).
-    next_act_allowed: float = 0.0
-    alerts: int = 0
-    rfm_commands: int = 0
-    refs: int = 0
-    blocked_ns: float = 0.0
+    __slots__ = (
+        "index",
+        "banks",
+        "ref_offset",
+        "blackouts",
+        "acts_since_rfm",
+        "alert_busy_until",
+        "next_act_allowed",
+        "alerts",
+        "rfm_commands",
+        "refs",
+        "blocked_ns",
+        "ref_free_start",
+        "ref_free_end",
+        "ref_handler",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        banks: list[BankState],
+        ref_offset: float,
+    ) -> None:
+        self.index = index
+        self.banks = banks
+        self.ref_offset = ref_offset
+        #: Dynamic blackout intervals (RFMab service), sorted by start.
+        self.blackouts: list[tuple[float, float]] = []
+        self.acts_since_rfm = 1 << 30
+        self.alert_busy_until = 0.0
+        #: Rank-level ACT-to-ACT gate (tRRD).
+        self.next_act_allowed = 0.0
+        self.alerts = 0
+        self.rfm_commands = 0
+        self.refs = 0
+        self.blocked_ns = 0.0
+        #: Cached REF-free interval [start, end): instants in it are
+        #: provably outside this rank's periodic REF blackout, so
+        #: ``_rank_avail`` can skip the modulo.  Empty until first use.
+        self.ref_free_start = 0.0
+        self.ref_free_end = 0.0
+        #: Pre-bound periodic REF callback (set by the controller).
+        self.ref_handler: Callable[[float], None] | None = None
 
 
-@dataclass
 class MemStats:
     """Aggregate statistics of one simulation run."""
 
-    reads: int = 0
-    writes: int = 0
-    acts: int = 0
-    row_hits: int = 0
-    alerts: int = 0
-    refs: int = 0
-    rfm_commands: int = 0
-    cadence_rfms: int = 0
-    total_read_latency_ns: float = 0.0
+    __slots__ = (
+        "reads",
+        "writes",
+        "acts",
+        "row_hits",
+        "alerts",
+        "refs",
+        "rfm_commands",
+        "cadence_rfms",
+        "total_read_latency_ns",
+    )
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.acts = 0
+        self.row_hits = 0
+        self.alerts = 0
+        self.refs = 0
+        self.rfm_commands = 0
+        self.cadence_rfms = 0
+        self.total_read_latency_ns = 0.0
 
     @property
     def avg_read_latency_ns(self) -> float:
@@ -93,6 +146,12 @@ class MemorySystem:
         self.enable_refresh = enable_refresh
         self.stats = MemStats()
         org = config.org
+        # REF-window constants, read by _rank_avail on every timing
+        # query (the remaining per-request constants live in the packed
+        # _decode_hot / _service_hot tuples below).
+        t = self.timing
+        self._t_refi = t.t_refi
+        self._t_rfc = t.t_rfc
 
         self.banks: list[BankState] = []
         self.ranks: list[RankState] = []
@@ -112,6 +171,9 @@ class MemorySystem:
                             bank=bank,
                             defense=defense_factory(flat, config),
                         )
+                        state.consider_handler = partial(
+                            self._consider_bank, state
+                        )
                         self.banks.append(state)
                         rank_banks.append(state)
                         flat += 1
@@ -121,14 +183,53 @@ class MemorySystem:
                     banks=rank_banks,
                     ref_offset=stagger * rank_index,
                 )
+                rank_state.ref_handler = partial(self._ref_tick, rank_state)
+                for state in rank_banks:
+                    state.rank_state = rank_state
                 # Allow the very first Alert without an ABO_Delay debt.
                 self.ranks.append(rank_state)
         self.bus_free = [0.0] * org.channels
+        self._schedule_future = self.events.schedule_future
+        # Decode constants for the inline decode in enqueue(), packed so
+        # the per-access prologue is one attribute load + tuple unpack.
+        m = self.mapper
+        self._decode_hot = (
+            m._offset_bits,
+            m._column_bits,
+            m._bg_bits,
+            m._bank_bits,
+            m._rank_bits,
+            m._channel_bits,
+            m._column_mask,
+            m._bg_mask,
+            m._bank_mask,
+            m._rank_mask,
+            m._channel_mask,
+            m._row_mask,
+            org.banks_per_rank,
+            org.banks_per_group,
+            org.ranks,
+            self.banks,
+        )
+        # Service-path constants for _consider_bank, same trick.
+        self._service_hot = (
+            t.t_rp,
+            t.t_rc,
+            t.t_ras,
+            t.t_rcd,
+            t.t_rrd,
+            t.t_cl,
+            t.t_burst,
+            t.t_wr,
+            t.t_rtp,
+            self.bus_free,
+            self.stats,
+            self.events,
+        )
         if enable_refresh:
             for rank_state in self.ranks:
                 self.events.schedule(
-                    rank_state.ref_offset,
-                    self._make_ref_handler(rank_state),
+                    rank_state.ref_offset, rank_state.ref_handler
                 )
 
     # ------------------------------------------------------------------
@@ -143,28 +244,62 @@ class MemorySystem:
         core_id: int | None = None,
     ) -> Request:
         """Queue one cache-line access; ``callback(done_ns)`` fires on completion."""
-        decoded = self.mapper.decode(phys_addr)
-        req = Request(
-            phys_addr=phys_addr,
-            is_write=is_write,
-            arrive=now,
-            channel=decoded.channel,
-            rank=decoded.rank,
-            bankgroup=decoded.bankgroup,
-            bank=decoded.bank,
-            row=decoded.row,
-            column=decoded.column,
-            callback=callback,
-            core_id=core_id,
+        # Inline decode (see AddressMapper.decode_flat): the LLC filters
+        # out re-touches, so addresses arriving here are nearly all
+        # distinct — straight-line bit slicing beats any memo.
+        (
+            offset_bits, column_bits, bg_bits, bank_bits, rank_bits,
+            channel_bits, column_mask, bg_mask, bank_mask, rank_mask,
+            channel_mask, row_mask, banks_per_rank, banks_per_group,
+            ranks_per_channel, banks,
+        ) = self._decode_hot
+        if phys_addr < 0:
+            raise ConfigError(f"negative physical address {phys_addr:#x}")
+        a = phys_addr >> offset_bits
+        column = a & column_mask
+        a >>= column_bits
+        bankgroup = a & bg_mask
+        a >>= bg_bits
+        bank_i = a & bank_mask
+        a >>= bank_bits
+        rank = a & rank_mask
+        a >>= rank_bits
+        channel = a & channel_mask
+        row = (a >> channel_bits) & row_mask
+        flat = (
+            (channel * ranks_per_channel + rank) * banks_per_rank
+            + bankgroup * banks_per_group
+            + bank_i
         )
-        bank = self.banks[decoded.flat_bank(self.cfg.org)]
+        # Field-by-field construction (no __init__ frame): one Request
+        # per DRAM access makes even the constructor call measurable.
+        req = _new_request(Request)
+        req.phys_addr = phys_addr
+        req.is_write = is_write
+        req.arrive = now
+        req.channel = channel
+        req.rank = rank
+        req.bankgroup = bankgroup
+        req.bank = bank_i
+        req.row = row
+        req.column = column
+        req.callback = callback
+        req.core_id = core_id
+        req.complete_time = None
+        bank = banks[flat]
         bank.pending.append(req)
-        self._schedule_consider(bank, now)
+        if not bank.consider_scheduled:
+            bank.consider_scheduled = True
+            # events.schedule_future, inlined (once per DRAM access).
+            events = self.events
+            seq = events._seq
+            events._seq = seq + 1
+            t = now if now >= events._now else events._now
+            _heappush(events._heap, (t, seq, bank.consider_handler))
         return req
 
     def bank_for(self, phys_addr: int) -> BankState:
-        decoded = self.mapper.decode(phys_addr)
-        return self.banks[decoded.flat_bank(self.cfg.org)]
+        return self.banks[self.mapper.decode_flat(phys_addr)[6]]
 
     def defense_stats(self) -> dict[MitigationReason, int]:
         """Total mitigations by reason, summed over all banks."""
@@ -185,80 +320,168 @@ class MemorySystem:
         if bank.consider_scheduled:
             return
         bank.consider_scheduled = True
-        self.events.schedule(t, self._make_consider_handler(bank))
+        self.events.schedule(t, bank.consider_handler)
 
-    def _make_consider_handler(self, bank: BankState) -> Callable[[float], None]:
-        def handler(now: float) -> None:
-            bank.consider_scheduled = False
-            if not bank.pending:
-                return
-            # Never commit a request while the bank is still occupied or
-            # blacked out: scheduling it early would reserve rank-level
-            # resources (the tRRD gate) at far-future instants and starve
-            # other banks' earlier slots.
-            floor = max(bank.ready_at, bank.blocked_until)
-            if floor > now + 1e-9:
-                self._schedule_consider(bank, floor)
-                return
+    def _consider_bank(self, bank: BankState, now: float) -> None:
+        """Per-bank wake-up: commit the next request once the bank is free.
+
+        The whole service path — FR-FCFS pick, command scheduling, DRAM
+        timing updates, activation-side protocol — is one function: it
+        runs once per DRAM access, and the call fan-out this replaces
+        was measurable.  Timing queries check the rank's cached REF-free
+        interval inline and only fall back to :meth:`_rank_avail` when
+        the instant is not provably clear of REF windows and blackouts.
+        """
+        bank.consider_scheduled = False
+        if not bank.pending:
+            return
+        # Never commit a request while the bank is still occupied or
+        # blacked out: scheduling it early would reserve rank-level
+        # resources (the tRRD gate) at far-future instants and starve
+        # other banks' earlier slots.
+        floor = bank.ready_at
+        if bank.blocked_until > floor:
+            floor = bank.blocked_until
+        if floor > now + 1e-9:
+            bank.consider_scheduled = True
+            self._schedule_future(floor, bank.consider_handler)
+            return
+        pending = bank.pending
+        if len(pending) == 1:
+            req = pending.popleft()
+        else:
             req = bank.pick_request()
-            self._service(bank, req, now)
-            if bank.pending:
-                self._schedule_consider(
-                    bank, max(bank.ready_at, bank.blocked_until)
-                )
 
-        return handler
-
-    def _service(self, bank: BankState, req: Request, now: float) -> None:
-        """Compute the command schedule for one request and apply it."""
-        t = self.timing
-        rank = self.ranks[bank.channel * self.cfg.org.ranks + bank.rank]
-        start = max(now, bank.ready_at, bank.blocked_until)
-        if bank.open_row == req.row and bank.open_row is not None:
-            cas = self._rank_avail(rank, max(start, bank.cas_allowed))
+        (
+            t_rp, t_rc, t_ras, t_rcd, t_rrd, t_cl, t_burst, t_wr, t_rtp,
+            bus_free, stats, events,
+        ) = self._service_hot
+        rank = bank.rank_state
+        start = now
+        if bank.ready_at > start:
+            start = bank.ready_at
+        if bank.blocked_until > start:
+            start = bank.blocked_until
+        row = req.row
+        open_row = bank.open_row
+        if open_row == row and open_row is not None:
+            cas = bank.cas_allowed
+            if start > cas:
+                cas = start
+            if not (rank.ref_free_start <= cas < rank.ref_free_end) or rank.blackouts:
+                cas = self._rank_avail(rank, cas)
             bank.row_hits += 1
-            self.stats.row_hits += 1
+            stats.row_hits += 1
             act_time = None
         else:
-            if bank.open_row is None:
-                act_ready = max(start, bank.act_allowed)
+            if open_row is None:
+                act_ready = bank.act_allowed
+                if start > act_ready:
+                    act_ready = start
                 bank.row_misses += 1
             else:
-                pre = self._rank_avail(rank, max(start, bank.pre_allowed))
-                act_ready = max(pre + t.t_rp, bank.act_allowed)
+                pre = bank.pre_allowed
+                if start > pre:
+                    pre = start
+                if not (rank.ref_free_start <= pre < rank.ref_free_end) or rank.blackouts:
+                    pre = self._rank_avail(rank, pre)
+                act_ready = pre + t_rp
+                if bank.act_allowed > act_ready:
+                    act_ready = bank.act_allowed
                 bank.row_conflicts += 1
-            act_time = self._rank_avail(
-                rank, max(act_ready, rank.next_act_allowed)
-            )
+            if rank.next_act_allowed > act_ready:
+                act_ready = rank.next_act_allowed
+            act_time = act_ready
+            if not (rank.ref_free_start <= act_time < rank.ref_free_end) or rank.blackouts:
+                act_time = self._rank_avail(rank, act_time)
             # Advance the rank ACT-to-ACT gate (tRRD).  Requests are only
-            # committed once their bank is free (see the consider
-            # handler), so act_time is always near the true rank frontier.
-            rank.next_act_allowed = act_time + t.t_rrd
-            bank.open_row = req.row
-            bank.act_allowed = act_time + t.t_rc
-            bank.pre_allowed = act_time + t.t_ras
-            bank.cas_allowed = act_time + t.t_rcd
-            cas = act_time + t.t_rcd
-        data_start = max(cas + t.t_cl, self.bus_free[req.channel])
-        done = data_start + t.t_burst
-        self.bus_free[req.channel] = done
+            # committed once their bank is free (see the floor check
+            # above), so act_time is always near the true rank frontier.
+            rank.next_act_allowed = act_time + t_rrd
+            bank.open_row = row
+            bank.act_allowed = act_time + t_rc
+            bank.pre_allowed = act_time + t_ras
+            cas = act_time + t_rcd
+            bank.cas_allowed = cas
+        data_start = cas + t_cl
+        channel = req.channel
+        if bus_free[channel] > data_start:
+            data_start = bus_free[channel]
+        done = data_start + t_burst
+        bus_free[channel] = done
         if req.is_write:
-            bank.pre_allowed = max(bank.pre_allowed, done + t.t_wr)
-            self.stats.writes += 1
+            pre_floor = done + t_wr
+            if pre_floor > bank.pre_allowed:
+                bank.pre_allowed = pre_floor
+            stats.writes += 1
         else:
-            bank.pre_allowed = max(bank.pre_allowed, cas + t.t_rtp)
-            self.stats.reads += 1
-            self.stats.total_read_latency_ns += done - req.arrive
+            pre_floor = cas + t_rtp
+            if pre_floor > bank.pre_allowed:
+                bank.pre_allowed = pre_floor
+            stats.reads += 1
+            stats.total_read_latency_ns += done - req.arrive
         bank.ready_at = data_start
         if act_time is not None:
-            self._on_activation(bank, rank, req.row, act_time)
+            # Activation-side protocol, inline (once per ACT): counter
+            # and PSQ updates via the defense, cadence RFMs, Alerts.
+            bank.acts += 1
+            stats.acts += 1
+            rank.acts_since_rfm += 1
+            wants_alert = bank.defense.on_activation(row)
+            cadence = bank.cadence_acts
+            if cadence is not None:
+                bank.cadence_act_counter += 1
+                if bank.cadence_act_counter >= cadence:
+                    bank.cadence_act_counter = 0
+                    self._issue_cadence_rfm(bank, act_time)
+            if wants_alert:
+                self._maybe_alert(bank, rank, act_time)
         req.complete_time = done
-        if req.callback is not None:
-            callback = req.callback
-            self.events.schedule(done, callback)
+        callback = req.callback
+        if callback is not None:
+            # events.schedule_future, inlined; done > now always.
+            seq = events._seq
+            events._seq = seq + 1
+            _heappush(events._heap, (done, seq, callback))
+
+        if bank.pending:
+            # consider_scheduled is necessarily False here (cleared on
+            # entry; nothing within the service path re-arms this bank).
+            floor = bank.ready_at
+            if bank.blocked_until > floor:
+                floor = bank.blocked_until
+            bank.consider_scheduled = True
+            seq = events._seq
+            events._seq = seq + 1
+            if floor < now:
+                floor = now
+            _heappush(events._heap, (floor, seq, bank.consider_handler))
 
     def _rank_avail(self, rank: RankState, t: float) -> float:
         """Earliest instant >= t outside REF windows and rank blackouts."""
+        if not rank.blackouts:
+            # Fast path: no dynamic blackouts, so only the periodic REF
+            # window can move t — and at most once, because the shifted
+            # instant is exactly the window's end.  The per-rank cached
+            # REF-free interval short-circuits the modulo entirely for
+            # queries that land where the previous one did.
+            if not self.enable_refresh:
+                return t
+            if rank.ref_free_start <= t < rank.ref_free_end:
+                return t
+            t_refi = self._t_refi
+            t_rfc = self._t_rfc
+            pos = (t - rank.ref_offset) % t_refi
+            window_start = t - pos
+            if pos < t_rfc:
+                t = window_start + t_rfc
+            rank.ref_free_start = window_start + t_rfc
+            rank.ref_free_end = window_start + t_refi
+            return t
+        return self._rank_avail_slow(rank, t)
+
+    def _rank_avail_slow(self, rank: RankState, t: float) -> float:
+        """General case: interleaved REF windows and RFMab blackouts."""
         timing = self.timing
         while True:
             moved = False
@@ -286,23 +509,8 @@ class MemorySystem:
 
     # ------------------------------------------------------------------
     # Activation-side protocol: alerts, RFMs, cadence mitigations
+    # (the per-ACT dispatch itself is inlined in _service)
     # ------------------------------------------------------------------
-    def _on_activation(
-        self, bank: BankState, rank: RankState, row: int, act_time: float
-    ) -> None:
-        bank.acts += 1
-        self.stats.acts += 1
-        rank.acts_since_rfm += 1
-        wants_alert = bank.defense.on_activation(row)
-        cadence = bank.defense.rfm_cadence_acts
-        if cadence is not None:
-            bank.cadence_act_counter += 1
-            if bank.cadence_act_counter >= cadence:
-                bank.cadence_act_counter = 0
-                self._issue_cadence_rfm(bank, act_time)
-        if wants_alert:
-            self._maybe_alert(bank, rank, act_time)
-
     def _issue_cadence_rfm(self, bank: BankState, act_time: float) -> None:
         """Controller-scheduled per-bank RFM (PrIDE / Mithril cadence)."""
         t = self.timing
@@ -362,12 +570,10 @@ class MemorySystem:
     # ------------------------------------------------------------------
     # Refresh
     # ------------------------------------------------------------------
-    def _make_ref_handler(self, rank: RankState) -> Callable[[float], None]:
-        def handler(now: float) -> None:
-            rank.refs += 1
-            self.stats.refs += 1
-            for bank in rank.banks:
-                bank.defense.on_ref()
-            self.events.schedule(now + self.timing.t_refi, handler)
-
-        return handler
+    def _ref_tick(self, rank: RankState, now: float) -> None:
+        """Periodic per-rank REF: defense hooks plus self-rescheduling."""
+        rank.refs += 1
+        self.stats.refs += 1
+        for bank in rank.banks:
+            bank.defense.on_ref()
+        self.events.schedule_future(now + self.timing.t_refi, rank.ref_handler)

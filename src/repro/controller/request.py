@@ -2,31 +2,63 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
 
-@dataclass
 class Request:
     """One cache-line-sized DRAM access.
 
     ``callback`` is invoked (via the event queue) with the completion time;
     writes typically pass ``None`` (posted writes retire immediately from
     the core's perspective).
+
+    A plain ``__slots__`` class rather than a dataclass: one instance is
+    allocated per DRAM access, which makes construction cost and the
+    per-instance ``__dict__`` measurable on the simulator's hot path.
     """
 
-    phys_addr: int
-    is_write: bool
-    arrive: float
-    channel: int
-    rank: int
-    bankgroup: int
-    bank: int
-    row: int
-    column: int
-    callback: Callable[[float], None] | None = None
-    core_id: int | None = None
-    complete_time: float | None = field(default=None)
+    __slots__ = (
+        "phys_addr",
+        "is_write",
+        "arrive",
+        "channel",
+        "rank",
+        "bankgroup",
+        "bank",
+        "row",
+        "column",
+        "callback",
+        "core_id",
+        "complete_time",
+    )
+
+    def __init__(
+        self,
+        phys_addr: int,
+        is_write: bool,
+        arrive: float,
+        channel: int,
+        rank: int,
+        bankgroup: int,
+        bank: int,
+        row: int,
+        column: int,
+        callback: Callable[[float], None] | None = None,
+        core_id: int | None = None,
+        complete_time: float | None = None,
+    ) -> None:
+        self.phys_addr = phys_addr
+        self.is_write = is_write
+        self.arrive = arrive
+        self.channel = channel
+        self.rank = rank
+        self.bankgroup = bankgroup
+        self.bank = bank
+        self.row = row
+        self.column = column
+        self.callback = callback
+        self.core_id = core_id
+        self.complete_time = complete_time
 
     @property
     def latency(self) -> float:
@@ -34,3 +66,11 @@ class Request:
         if self.complete_time is None:
             raise ValueError("request has not completed")
         return self.complete_time - self.arrive
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "W" if self.is_write else "R"
+        return (
+            f"Request({kind} {self.phys_addr:#x} ch{self.channel} "
+            f"rk{self.rank} bg{self.bankgroup} b{self.bank} "
+            f"row {self.row} col {self.column})"
+        )

@@ -73,13 +73,15 @@ class PRACCounterBank:
 
     def activate(self, row: int) -> int:
         """Record an activation of ``row``; return the new counter value."""
-        self._check_row(row)
+        if row < 0 or row >= self._num_rows:
+            self._check_row(row)
         self.total_activations += 1
-        value = self._counts[row]
+        counts = self._counts
+        value = counts[row]
         if self._max_value is not None and value >= self._max_value:
             self.saturation_events += 1
             return value
-        self._counts[row] = value + 1
+        counts[row] = value + 1
         return value + 1
 
     def increment_victim(self, row: int) -> int:

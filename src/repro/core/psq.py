@@ -19,17 +19,25 @@ Unlike the FIFO queues of Panopticon/UPRAC, the PSQ is *intentionally*
 always full: being full never causes information loss about heavily
 activated rows, which is exactly the property the paper's security argument
 rests on (Section IV-B).
+
+Implementation note: :class:`PriorityServiceQueue` keeps the maximum
+entry cached at all times and the minimum entry cached lazily, both
+maintained incrementally, so the activation-path operations
+(:meth:`observe`, :meth:`max_count`, :meth:`top`) are O(1) amortized —
+``min()``/``max()`` scans happen only when a cached extreme is actually
+invalidated.  :class:`ReferencePriorityServiceQueue` retains the original
+scan-on-every-call implementation as an executable specification; the
+differential tests in ``tests/test_determinism_golden.py`` drive both
+with identical operation streams and assert identical behaviour.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import ConfigError, ProtocolError
 
 
-@dataclass
 class PSQEntry:
     """One CAM entry: a row id, its activation count, and an insertion tag.
 
@@ -40,9 +48,12 @@ class PSQEntry:
     invariants hold regardless (see ``tests/core/test_psq_properties.py``).
     """
 
-    row: int
-    count: int
-    seq: int
+    __slots__ = ("row", "count", "seq")
+
+    def __init__(self, row: int, count: int, seq: int) -> None:
+        self.row = row
+        self.count = count
+        self.seq = seq
 
     def sort_key(self) -> tuple[int, int]:
         """Ascending priority: lowest count first, oldest first among ties.
@@ -51,6 +62,9 @@ class PSQEntry:
         mitigation target (highest count, newest among ties).
         """
         return (self.count, self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PSQEntry(row={self.row}, count={self.count}, seq={self.seq})"
 
 
 class PriorityServiceQueue:
@@ -69,10 +83,12 @@ class PriorityServiceQueue:
 
     Notes
     -----
-    The implementation keeps a dict for O(1) hit lookup plus a list of
-    entries; with N <= 5 (and never more than a few dozen in ablations)
-    linear scans for min/max are faster in Python than a heap and keep the
-    semantics obviously faithful to the hardware CAM.
+    A dict gives O(1) hit lookup; the highest-priority entry is cached
+    eagerly (it is read on *every* activation via
+    :meth:`~repro.core.qprac.QPRACBank.wants_alert`) and the eviction
+    victim lazily.  Entry sort keys ``(count, seq)`` are globally unique
+    (sequence numbers never repeat), so "the" min and max are always
+    well-defined and cache maintenance cannot change which entry wins.
     """
 
     def __init__(self, size: int, strict_insertion: bool = True) -> None:
@@ -81,7 +97,13 @@ class PriorityServiceQueue:
         self._size = size
         self.strict_insertion = strict_insertion
         self._entries: dict[int, PSQEntry] = {}
+        self._entries_get = self._entries.get
         self._next_seq = 0
+        #: Cached highest-priority entry; always valid (None iff empty).
+        self._top: PSQEntry | None = None
+        #: Cached lowest-priority entry; None means "unknown" (recomputed
+        #: on demand), which is also the value while the queue is empty.
+        self._victim: PSQEntry | None = None
         # Statistics (read by the energy model and tests).
         self.inserts = 0
         self.evictions = 0
@@ -126,16 +148,14 @@ class PriorityServiceQueue:
         """
         if len(self._entries) < self._size:
             return 0
-        return min(entry.count for entry in self._entries.values())
+        return self._find_victim().count
 
     def top(self) -> PSQEntry | None:
         """Highest-priority entry (max count; newest among ties), or None."""
-        if not self._entries:
-            return None
-        return max(self._entries.values(), key=PSQEntry.sort_key)
+        return self._top
 
     def max_count(self) -> int:
-        top = self.top()
+        top = self._top
         return top.count if top is not None else 0
 
     def rows(self) -> list[int]:
@@ -154,16 +174,35 @@ class PriorityServiceQueue:
         """
         if count < 0:
             raise ProtocolError(f"negative activation count {count}")
-        entry = self._entries.get(row)
+        entries = self._entries
+        entry = self._entries_get(row)
         if entry is not None:
             # Hit: update count in place (paper Figure 5, right path).
+            old = entry.count
             entry.count = count
             self.hits += 1
+            top = self._top
+            if entry is top:
+                if count < old:
+                    self._recompute_top()
+            elif count > top.count or (
+                count == top.count and entry.seq > top.seq
+            ):
+                self._top = entry
+            victim = self._victim
+            if entry is victim:
+                if count > old:
+                    self._victim = None
+            elif victim is not None and (
+                count < victim.count
+                or (count == victim.count and entry.seq < victim.seq)
+            ):
+                self._victim = entry
             return True
-        if len(self._entries) < self._size:
+        if len(entries) < self._size:
             self._insert(row, count)
             return True
-        victim = min(self._entries.values(), key=PSQEntry.sort_key)
+        victim = self._find_victim()
         accepts = (
             count > victim.count
             if self.strict_insertion
@@ -171,35 +210,75 @@ class PriorityServiceQueue:
         )
         if accepts:
             # Priority insertion: replace the lowest-count entry.
-            del self._entries[victim.row]
+            del entries[victim.row]
             self.evictions += 1
+            if victim is self._top:
+                self._top = None
+            self._victim = None
             self._insert(row, count)
+            if self._top is None:
+                self._recompute_top()
             return True
         self.rejected += 1
         return False
 
     def pop_top(self) -> PSQEntry:
         """Remove and return the highest-priority entry (for mitigation)."""
-        top = self.top()
+        top = self._top
         if top is None:
             raise ProtocolError("pop_top() on an empty PSQ")
         del self._entries[top.row]
+        if self._victim is top:
+            self._victim = None
+        self._recompute_top()
         return top
 
     def remove(self, row: int) -> bool:
         """Remove ``row`` if present (mitigation by an oracle); True if removed."""
-        if row in self._entries:
-            del self._entries[row]
-            return True
-        return False
+        entry = self._entries.pop(row, None)
+        if entry is None:
+            return False
+        if entry is self._top:
+            self._recompute_top()
+        if entry is self._victim:
+            self._victim = None
+        return True
 
     def clear(self) -> None:
         self._entries.clear()
+        self._top = None
+        self._victim = None
 
     def _insert(self, row: int, count: int) -> None:
-        self._entries[row] = PSQEntry(row=row, count=count, seq=self._next_seq)
+        entry = PSQEntry(row, count, self._next_seq)
         self._next_seq += 1
+        self._entries[row] = entry
         self.inserts += 1
+        top = self._top
+        # The fresh entry carries the highest sequence number, so it wins
+        # any count tie for the top slot and loses any tie for the victim
+        # slot (oldest-first eviction).
+        if top is None or count >= top.count:
+            self._top = entry
+        if len(self._entries) == 1:
+            self._victim = entry
+        else:
+            victim = self._victim
+            if victim is not None and count < victim.count:
+                self._victim = entry
+
+    def _recompute_top(self) -> None:
+        entries = self._entries
+        self._top = (
+            max(entries.values(), key=PSQEntry.sort_key) if entries else None
+        )
+
+    def _find_victim(self) -> PSQEntry:
+        victim = self._victim
+        if victim is None:
+            victim = min(self._entries.values(), key=PSQEntry.sort_key)
+            self._victim = victim
+        return victim
 
     # ------------------------------------------------------------------
     # Convenience used by the mitigation engine
@@ -211,3 +290,72 @@ class PriorityServiceQueue:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         body = ", ".join(f"{r}:{c}" for r, c in self.snapshot())
         return f"PSQ[{len(self)}/{self._size}]({body})"
+
+
+class ReferencePriorityServiceQueue(PriorityServiceQueue):
+    """Executable specification: the original scan-per-call PSQ.
+
+    Every query recomputes min/max over the live entries, exactly as the
+    hardware CAM's priority encoder would and exactly as this class was
+    implemented before the incremental-extremes optimization.  It exists
+    so differential tests can drive the optimized queue and this oracle
+    with identical operation streams and assert byte-identical outcomes;
+    it is also handy when debugging a suspected cache-maintenance bug.
+    """
+
+    def min_count(self) -> int:
+        if len(self._entries) < self._size:
+            return 0
+        return min(entry.count for entry in self._entries.values())
+
+    def top(self) -> PSQEntry | None:
+        if not self._entries:
+            return None
+        return max(self._entries.values(), key=PSQEntry.sort_key)
+
+    def max_count(self) -> int:
+        top = self.top()
+        return top.count if top is not None else 0
+
+    def observe(self, row: int, count: int) -> bool:
+        if count < 0:
+            raise ProtocolError(f"negative activation count {count}")
+        entry = self._entries.get(row)
+        if entry is not None:
+            entry.count = count
+            self.hits += 1
+            return True
+        if len(self._entries) < self._size:
+            self._spec_insert(row, count)
+            return True
+        victim = min(self._entries.values(), key=PSQEntry.sort_key)
+        accepts = (
+            count > victim.count
+            if self.strict_insertion
+            else count >= victim.count
+        )
+        if accepts:
+            del self._entries[victim.row]
+            self.evictions += 1
+            self._spec_insert(row, count)
+            return True
+        self.rejected += 1
+        return False
+
+    def pop_top(self) -> PSQEntry:
+        top = self.top()
+        if top is None:
+            raise ProtocolError("pop_top() on an empty PSQ")
+        del self._entries[top.row]
+        return top
+
+    def remove(self, row: int) -> bool:
+        if row in self._entries:
+            del self._entries[row]
+            return True
+        return False
+
+    def _spec_insert(self, row: int, count: int) -> None:
+        self._entries[row] = PSQEntry(row, count, self._next_seq)
+        self._next_seq += 1
+        self.inserts += 1

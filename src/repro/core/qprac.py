@@ -71,6 +71,10 @@ class QPRACBank(BankDefense):
             params.psq_size, strict_insertion=params.strict_psq_insertion
         )
         self._refs_seen = 0
+        # Hot-path prebinds: on_activation runs once per DRAM ACT.
+        self._n_bo = params.n_bo
+        self._counters_activate = self.counters.activate
+        self._psq_observe = self.psq.observe
 
     # ------------------------------------------------------------------
     # Activation path
@@ -78,9 +82,12 @@ class QPRACBank(BankDefense):
     def on_activation(self, row: int) -> bool:
         """Increment PRAC counter, update PSQ, report Alert demand."""
         self.stats.activations += 1
-        count = self.counters.activate(row)
-        self.psq.observe(row, count)
-        return self.wants_alert()
+        count = self._counters_activate(row)
+        self._psq_observe(row, count)
+        # wants_alert(), inline: the PSQ keeps its top entry cached, so
+        # the per-ACT threshold check is one attribute read.
+        top = self.psq._top
+        return top is not None and top.count >= self._n_bo
 
     def wants_alert(self) -> bool:
         """Single-threshold rule of Section III-C: top PSQ count >= N_BO."""

@@ -32,6 +32,7 @@ class SetAssociativeCache:
         self.line_size = line_size
         self._offset_bits = line_size.bit_length() - 1
         self._set_mask = self.num_sets - 1
+        self._set_bits = self.num_sets.bit_length() - 1
         # One OrderedDict per set: {tag: dirty}; LRU = insertion order.
         self._sets: list[OrderedDict[int, bool]] = [
             OrderedDict() for _ in range(self.num_sets)
@@ -42,7 +43,7 @@ class SetAssociativeCache:
 
     def _locate(self, addr: int) -> tuple[int, int]:
         line = addr >> self._offset_bits
-        return line & self._set_mask, line >> (self.num_sets.bit_length() - 1)
+        return line & self._set_mask, line >> self._set_bits
 
     def access(self, addr: int, is_write: bool) -> tuple[bool, int | None]:
         """Access one address.
@@ -51,7 +52,9 @@ class SetAssociativeCache:
         physical address of a dirty victim that must be written to DRAM,
         or None.
         """
-        set_index, tag = self._locate(addr)
+        line = addr >> self._offset_bits
+        set_index = line & self._set_mask
+        tag = line >> self._set_bits
         ways = self._sets[set_index]
         if tag in ways:
             self.hits += 1
@@ -65,9 +68,7 @@ class SetAssociativeCache:
             victim_tag, dirty = ways.popitem(last=False)
             if dirty:
                 self.writebacks += 1
-                victim_line = (
-                    victim_tag << (self.num_sets.bit_length() - 1)
-                ) | set_index
+                victim_line = (victim_tag << self._set_bits) | set_index
                 writeback = victim_line << self._offset_bits
         ways[tag] = is_write
         return False, writeback

@@ -15,6 +15,12 @@ on, without simulating a pipeline cycle by cycle:
 
 Writes are posted: they consume a write-buffer slot and DRAM bandwidth
 but never block retirement.
+
+Hot-path layout: the trace's numpy columns are converted to plain Python
+lists once at construction (no per-entry numpy-scalar boxing in the issue
+loop), the posted-write callback is bound once per core, and each
+in-flight load *is* its own completion callback (``_OutstandingLoad`` is
+callable) so issuing a load allocates no closure.
 """
 
 from __future__ import annotations
@@ -30,15 +36,52 @@ WRITE_BUFFER_DEPTH = 32
 
 IssueFn = Callable[[int, int, bool, float, Callable[[float], None] | None], None]
 
+_new_load = object.__new__
+
 
 class _OutstandingLoad:
-    """One in-flight load: its position in program order and completion."""
+    """One in-flight load: its position in program order and completion.
 
-    __slots__ = ("inst_count", "complete_time")
+    The instance doubles as its own completion callback — the memory
+    system calls it with the done-timestamp — so no per-load closure is
+    ever allocated.
+    """
 
-    def __init__(self, inst_count: int) -> None:
+    __slots__ = ("core", "inst_count", "complete_time")
+
+    def __init__(self, core: "TraceCore", inst_count: int) -> None:
+        self.core = core
         self.inst_count = inst_count
         self.complete_time: float | None = None
+
+    def __call__(self, done_ns: float) -> None:
+        # The completion handler body lives here (not in a TraceCore
+        # method) to keep the per-completion call depth at one frame.
+        self.complete_time = done_ns
+        core = self.core
+        if done_ns > core._last_complete:
+            core._last_complete = done_ns
+        outstanding = core._outstanding
+        if outstanding[0].complete_time is None:
+            # Out-of-order completion behind an in-flight ROB head: no
+            # retirement, no freed MSHR slot, no new issue capacity — the
+            # stall that halted the front end still holds, so running the
+            # issue loop is a provable no-op.  Record the completion (and
+            # the front-end time floor) and return.
+            if done_ns > core._t_front:
+                core._t_front = done_ns
+            return
+        # In-order retirement: drain completed loads from the head.
+        while outstanding and outstanding[0].complete_time is not None:
+            head = outstanding.popleft()
+            core._inst_retired = head.inst_count
+        if not outstanding:
+            core._inst_retired = core._inst_issued
+        # A stalled front end resumes no earlier than the unblocking
+        # completion.
+        if done_ns > core._t_front:
+            core._t_front = done_ns
+        core._advance(done_ns)
 
 
 class TraceCore:
@@ -46,7 +89,9 @@ class TraceCore:
 
     ``issue_fn(core_id, addr, is_write, time, callback)`` is provided by
     :class:`repro.cpu.system.MulticoreSystem` and routes the access through
-    the shared LLC into DRAM.
+    the shared LLC into DRAM.  ``on_finish`` (optional) fires exactly once
+    when the core retires its last instruction — the system driver counts
+    finished cores instead of polling every core per event.
     """
 
     def __init__(
@@ -55,11 +100,38 @@ class TraceCore:
         trace: Trace,
         cfg: CPUConfig,
         issue_fn: IssueFn,
+        on_finish: Callable[[], None] | None = None,
     ) -> None:
         self.core_id = core_id
         self.trace = trace
         self.cfg = cfg
         self._issue_fn = issue_fn
+        self._on_finish = on_finish
+        # Plain-list trace columns: indexing numpy arrays per entry boxes
+        # a numpy scalar per access, which dominates the issue loop.
+        # ``needs`` folds the +1 (one memory op per entry) in up front.
+        self._needs: list[int] = [b + 1 for b in trace.bubbles.tolist()]
+        self._addresses: list[int] = trace.addresses.tolist()
+        self._writes: list[bool] = trace.is_write.tolist()
+        self._n = len(trace)
+        self._per_inst_ns = cfg.cycle_ns / cfg.issue_width
+        self._rob_entries = cfg.rob_entries
+        self._max_misses = cfg.max_outstanding_misses
+        self._write_done_cb = self._on_write_done
+        #: Issue-loop constants, packed so _advance pays one attribute
+        #: load plus a tuple unpack instead of nine attribute loads.
+        self._hot = (
+            self._needs,
+            self._addresses,
+            self._writes,
+            self._n,
+            self._per_inst_ns,
+            self._rob_entries,
+            self._max_misses,
+            issue_fn,
+            core_id,
+            self._write_done_cb,
+        )
         self._idx = 0
         self._inst_issued = 0
         self._inst_retired = 0
@@ -101,83 +173,93 @@ class TraceCore:
 
     def _advance(self, now: float) -> None:
         """Issue trace entries until a structural stall or trace end."""
-        cfg = self.cfg
-        per_inst_ns = cfg.cycle_ns / cfg.issue_width
-        trace = self.trace
-        if not self._outstanding:
+        (
+            needs, addresses, writes, n, per_inst_ns, rob_entries,
+            max_misses, issue, core_id, write_cb,
+        ) = self._hot
+        idx = self._idx
+        outstanding = self._outstanding
+        issued = self._inst_issued
+        if outstanding:
+            retired = self._inst_retired
+        else:
             # No incomplete load blocks the ROB head: bubbles and posted
             # writes retire as the front end moves past them.
-            self._inst_retired = self._inst_issued
-        while self._idx < len(trace):
-            bubbles = int(trace.bubbles[self._idx])
-            need = bubbles + 1
-            space = cfg.rob_entries - (self._inst_issued - self._inst_retired)
-            if need > space:
-                if need <= cfg.rob_entries or self._outstanding:
-                    return  # ROB full: resume when the oldest load completes
-                # A bubble block larger than the whole ROB streams through
-                # an otherwise-empty ROB instead of deadlocking.
-            is_write = bool(trace.is_write[self._idx])
-            if is_write:
-                if self._writes_in_flight >= WRITE_BUFFER_DEPTH:
-                    return  # write buffer full
-            elif len(self._outstanding) >= cfg.max_outstanding_misses:
-                return  # MSHRs full
-            addr = int(trace.addresses[self._idx])
-            self._t_front += need * per_inst_ns
-            self._inst_issued += need
-            self._idx += 1
-            if is_write:
-                self.stores_issued += 1
-                self._writes_in_flight += 1
-                self._issue_fn(
-                    self.core_id, addr, True, self._t_front, self._on_write_done
-                )
-            else:
-                self.loads_issued += 1
-                load = _OutstandingLoad(self._inst_issued)
-                self._outstanding.append(load)
-                self._issue_fn(
-                    self.core_id,
-                    addr,
-                    False,
-                    self._t_front,
-                    self._make_load_callback(load),
-                )
-        if not self._outstanding:
-            self._inst_retired = self._inst_issued
+            retired = issued
+        stalled = False
+        if idx < n:
+            t_front = self._t_front
+            writes_in_flight = self._writes_in_flight
+            loads_issued = 0
+            stores_issued = 0
+            space = rob_entries - issued + retired
+            while idx < n:
+                need = needs[idx]
+                if need > space:
+                    if need <= rob_entries or outstanding:
+                        stalled = True
+                        break  # ROB full: resume on oldest-load completion
+                    # A bubble block larger than the whole ROB streams
+                    # through an otherwise-empty ROB instead of
+                    # deadlocking.
+                is_write = writes[idx]
+                if is_write:
+                    if writes_in_flight >= WRITE_BUFFER_DEPTH:
+                        stalled = True
+                        break  # write buffer full
+                elif len(outstanding) >= max_misses:
+                    stalled = True
+                    break  # MSHRs full
+                addr = addresses[idx]
+                t_front += need * per_inst_ns
+                issued += need
+                space -= need
+                idx += 1
+                if is_write:
+                    stores_issued += 1
+                    writes_in_flight += 1
+                    issue(core_id, addr, True, t_front, write_cb)
+                else:
+                    loads_issued += 1
+                    # Field-by-field construction (no __init__ frame).
+                    load = _new_load(_OutstandingLoad)
+                    load.core = self
+                    load.inst_count = issued
+                    load.complete_time = None
+                    outstanding.append(load)
+                    issue(core_id, addr, False, t_front, load)
+            self._t_front = t_front
+            self._writes_in_flight = writes_in_flight
+            self.loads_issued += loads_issued
+            self.stores_issued += stores_issued
+        self._idx = idx
+        self._inst_issued = issued
+        self._inst_retired = retired
+        if not stalled and not outstanding:
+            self._inst_retired = issued
             self._finish()
 
-    def _make_load_callback(
-        self, load: _OutstandingLoad
-    ) -> Callable[[float], None]:
-        def on_complete(done_ns: float) -> None:
-            load.complete_time = done_ns
-            self._last_complete = max(self._last_complete, done_ns)
-            # In-order retirement: drain completed loads from the head.
-            while self._outstanding and (
-                self._outstanding[0].complete_time is not None
-            ):
-                head = self._outstanding.popleft()
-                self._inst_retired = head.inst_count
-            if not self._outstanding:
-                self._inst_retired = self._inst_issued
-            # A stalled front end resumes no earlier than the unblocking
-            # completion.
-            self._t_front = max(self._t_front, done_ns)
-            self._advance(done_ns)
-
-        return on_complete
-
     def _on_write_done(self, done_ns: float) -> None:
+        was_full = self._writes_in_flight >= WRITE_BUFFER_DEPTH
         self._writes_in_flight -= 1
-        self._last_complete = max(self._last_complete, done_ns)
-        self._advance(done_ns)
+        if done_ns > self._last_complete:
+            self._last_complete = done_ns
+        if was_full or not self._outstanding:
+            self._advance(done_ns)
+        # Otherwise the skip is a provable no-op: the buffer was not the
+        # binding constraint, and with loads outstanding retirement is
+        # governed solely by head-of-ROB load completions — a posted
+        # write changes nothing else the issue loop reads.  (With *no*
+        # loads outstanding _advance must run: its retired-catches-up
+        # rule is what retires issued bubbles and posted writes, which
+        # can itself clear an ROB stall or finish the trace.)
 
     def _finish(self) -> None:
         if self.done:
             return
-        if self._idx < len(self.trace) or self._outstanding:
+        if self._idx < self._n or self._outstanding:
             return
         self.done = True
         self.finish_time = max(self._t_front, self._last_complete)
+        if self._on_finish is not None:
+            self._on_finish()

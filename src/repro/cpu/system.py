@@ -17,7 +17,7 @@ from repro.cpu.core import TraceCore
 from repro.cpu.trace import Trace
 from repro.errors import ConfigError, ReproError
 from repro.params import SystemConfig
-from repro.engine import EventQueue
+from repro.engine import EventQueue, _heappush
 
 #: Hard cap on simulation events, guarding against scheduling livelock.
 MAX_EVENTS = 200_000_000
@@ -97,45 +97,93 @@ class MulticoreSystem:
             config.cpu.llc_ways,
             config.org.line_size_bytes,
         )
+        #: One-element cell bumped per finishing core; shared with the
+        #: event queue's tight drain loop as its stop condition.
+        self._cores_done = [0]
+        self._llc_latency_ns = config.cpu.llc_latency_ns
+        # LLC geometry and hot callables for the per-access issue path
+        # (the LLC lookup is inlined in _issue_access), packed so the
+        # prologue is one attribute load plus a tuple unpack.
+        llc = self.llc
+        self._issue_hot = (
+            llc,
+            llc._sets,
+            llc._offset_bits,
+            llc._set_mask,
+            llc._set_bits,
+            llc.ways,
+            self._llc_latency_ns,
+            self.memory.enqueue,
+            self.events,
+        )
         self.cores = [
-            TraceCore(i, trace, config.cpu, self._issue_access)
+            TraceCore(
+                i, trace, config.cpu, self._issue_access,
+                on_finish=self._core_finished,
+            )
             for i, trace in enumerate(traces)
         ]
 
     # ------------------------------------------------------------------
     # Memory-hierarchy glue
     # ------------------------------------------------------------------
+    def _core_finished(self) -> None:
+        self._cores_done[0] += 1
+
     def _issue_access(self, core_id, addr, is_write, time, callback) -> None:
-        hit, writeback = self.llc.access(addr, is_write)
-        llc_done = time + self.cfg.cpu.llc_latency_ns
-        if hit:
+        # SetAssociativeCache.access, inlined (this runs once per memory
+        # instruction; keep in sync with repro.cpu.cache).
+        (
+            llc, sets, offset_bits, set_mask, set_bits, n_ways,
+            llc_latency, mem_enqueue, events,
+        ) = self._issue_hot
+        line = addr >> offset_bits
+        set_index = line & set_mask
+        tag = line >> set_bits
+        ways = sets[set_index]
+        llc_done = time + llc_latency
+        if tag in ways:
+            llc.hits += 1
+            ways.move_to_end(tag)
+            if is_write:
+                ways[tag] = True
             if callback is not None:
-                self.events.schedule(llc_done, callback)
-        else:
-            self.memory.enqueue(
-                addr, is_write, llc_done, callback=callback, core_id=core_id
-            )
+                # events.schedule_future, inlined (hottest event source).
+                seq = events._seq
+                events._seq = seq + 1
+                if llc_done < events._now:
+                    llc_done = events._now
+                _heappush(events._heap, (llc_done, seq, callback))
+            return
+        llc.misses += 1
+        writeback = None
+        if len(ways) >= n_ways:
+            victim_tag, dirty = ways.popitem(last=False)
+            if dirty:
+                llc.writebacks += 1
+                writeback = (
+                    (victim_tag << set_bits) | set_index
+                ) << offset_bits
+        ways[tag] = is_write
+        mem_enqueue(
+            addr, is_write, llc_done, callback=callback, core_id=core_id
+        )
         if writeback is not None:
-            self.memory.enqueue(writeback, True, llc_done, callback=None)
+            mem_enqueue(writeback, True, llc_done, callback=None)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, variant_name: str | None = None) -> SystemResult:
-        """Run all cores to completion and return aggregate results."""
+        """Run all cores to completion and return aggregate results.
+
+        The loop stops exactly when the last core retires (cores report
+        completion through ``on_finish``); it never polls every core per
+        event, and never processes an event beyond the finishing one.
+        """
         for core in self.cores:
             core.start()
-        events = self.events
-        processed = 0
-        while not all(core.done for core in self.cores):
-            if not events.step():
-                raise ReproError(
-                    "event queue drained before all cores finished — "
-                    "a request was lost or a core deadlocked"
-                )
-            processed += 1
-            if processed > MAX_EVENTS:
-                raise ReproError("simulation exceeded the event budget")
+        self.events.drain_until(self._cores_done, len(self.cores), MAX_EVENTS)
         sim_time = max(core.finish_time for core in self.cores)
         stats = self.memory.stats
         total_mem = stats.reads + stats.writes

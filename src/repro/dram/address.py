@@ -10,6 +10,13 @@ Consecutive cache lines therefore stream through one row (row-buffer
 locality), while bits just above the column spread traffic across bank
 groups and banks (bank-level parallelism) — the behaviour the paper's
 activation-rate arithmetic depends on.
+
+Two decode forms exist: :meth:`AddressMapper.decode` builds a frozen
+:class:`DramAddress` (convenient, used by tests and reports), while
+:meth:`AddressMapper.decode_flat` returns a memoized plain tuple with the
+flat bank index precomputed — the form the memory controller consumes on
+every access.  Workloads re-touch the same cache lines constantly, so the
+memo turns per-access decoding into a dict hit.
 """
 
 from __future__ import annotations
@@ -57,6 +64,20 @@ class AddressMapper:
         self._rank_bits = _bits(org.ranks)
         self._channel_bits = _bits(org.channels)
         self._row_bits = _bits(org.rows_per_bank)
+        self._column_mask = (1 << self._column_bits) - 1
+        self._bg_mask = (1 << self._bg_bits) - 1
+        self._bank_mask = (1 << self._bank_bits) - 1
+        self._rank_mask = (1 << self._rank_bits) - 1
+        self._channel_mask = (1 << self._channel_bits) - 1
+        self._row_mask = (1 << self._row_bits) - 1
+        self._banks_per_rank = org.banks_per_rank
+        self._banks_per_group = org.banks_per_group
+        self._ranks = org.ranks
+        #: phys_addr -> (channel, rank, bankgroup, bank, row, column,
+        #: flat_bank).  Bounded by the workload's distinct cache lines.
+        self._flat_cache: dict[
+            int, tuple[int, int, int, int, int, int, int]
+        ] = {}
 
     @property
     def address_bits(self) -> int:
@@ -71,22 +92,45 @@ class AddressMapper:
             + self._row_bits
         )
 
-    def decode(self, phys_addr: int) -> DramAddress:
-        """Map a physical byte address to DRAM coordinates."""
+    def decode_flat(
+        self, phys_addr: int
+    ) -> tuple[int, int, int, int, int, int, int]:
+        """Decode once, with memoization: the controller's per-access form.
+
+        Returns ``(channel, rank, bankgroup, bank, row, column,
+        flat_bank)`` as plain ints — no :class:`DramAddress` allocation.
+        """
+        info = self._flat_cache.get(phys_addr)
+        if info is not None:
+            return info
         if phys_addr < 0:
             raise ConfigError(f"negative physical address {phys_addr:#x}")
         a = phys_addr >> self._offset_bits
-        column = a & ((1 << self._column_bits) - 1)
+        column = a & self._column_mask
         a >>= self._column_bits
-        bankgroup = a & ((1 << self._bg_bits) - 1)
+        bankgroup = a & self._bg_mask
         a >>= self._bg_bits
-        bank = a & ((1 << self._bank_bits) - 1)
+        bank = a & self._bank_mask
         a >>= self._bank_bits
-        rank = a & ((1 << self._rank_bits) - 1)
+        rank = a & self._rank_mask
         a >>= self._rank_bits
-        channel = a & ((1 << self._channel_bits) - 1)
+        channel = a & self._channel_mask
         a >>= self._channel_bits
-        row = a & ((1 << self._row_bits) - 1)
+        row = a & self._row_mask
+        flat_bank = (
+            (channel * self._ranks + rank) * self._banks_per_rank
+            + bankgroup * self._banks_per_group
+            + bank
+        )
+        info = (channel, rank, bankgroup, bank, row, column, flat_bank)
+        self._flat_cache[phys_addr] = info
+        return info
+
+    def decode(self, phys_addr: int) -> DramAddress:
+        """Map a physical byte address to DRAM coordinates."""
+        channel, rank, bankgroup, bank, row, column, _flat = self.decode_flat(
+            phys_addr
+        )
         return DramAddress(
             channel=channel,
             rank=rank,
@@ -104,6 +148,34 @@ class AddressMapper:
         a = (a << self._bank_bits) | addr.bank
         a = (a << self._bg_bits) | addr.bankgroup
         a = (a << self._column_bits) | addr.column
+        return a << self._offset_bits
+
+    def encode_arrays(self, row, column, channel, rank, bankgroup, bank):
+        """Vectorized :meth:`encode` over equal-length integer arrays.
+
+        Bit-for-bit identical to calling :meth:`compose` element-wise;
+        used by the trace generator so building a trace is array math
+        instead of one Python call per row visit.  Accepts anything
+        numpy's integer operators do; range-checks each field like
+        :meth:`compose`.
+        """
+        org = self.org
+        for name, values, limit in (
+            ("row", row, org.rows_per_bank),
+            ("column", column, org.columns_per_row),
+            ("channel", channel, org.channels),
+            ("rank", rank, org.ranks),
+            ("bankgroup", bankgroup, org.bankgroups),
+            ("bank", bank, org.banks_per_group),
+        ):
+            if len(values) and (values.min() < 0 or values.max() >= limit):
+                raise ConfigError(f"{name} out of range")
+        a = row.astype("int64")
+        a = (a << self._channel_bits) | channel
+        a = (a << self._rank_bits) | rank
+        a = (a << self._bank_bits) | bank
+        a = (a << self._bg_bits) | bankgroup
+        a = (a << self._column_bits) | column
         return a << self._offset_bits
 
     def compose(

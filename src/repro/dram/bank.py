@@ -9,57 +9,106 @@ with rank-level blackouts (REF, RFM, Alert servicing) when scheduling.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.controller.request import Request
     from repro.core.defense import BankDefense
 
 
-@dataclass
 class BankState:
-    """Mutable scheduling state of one DRAM bank."""
+    """Mutable scheduling state of one DRAM bank.
 
-    index: int
-    channel: int
-    rank: int
-    bankgroup: int
-    bank: int
-    defense: "BankDefense"
+    A ``__slots__`` class: every request service touches half a dozen of
+    these fields, and the controller holds one instance per bank of the
+    whole memory — attribute access and memory locality both matter.
+    """
 
-    open_row: int | None = None
-    #: Earliest start for the next ACT (tRC after the previous ACT).
-    act_allowed: float = 0.0
-    #: Earliest start for the next PRE (tRAS / tRTP / tWR constraints).
-    pre_allowed: float = 0.0
-    #: Earliest start for the next CAS to the open row (tRCD after ACT).
-    cas_allowed: float = 0.0
-    #: Bank-scoped blackout (RFMsb / RFMpb / cadence RFMs end here).
-    blocked_until: float = 0.0
-    #: The bank is considered occupied by its current request until here.
-    ready_at: float = 0.0
+    __slots__ = (
+        "index",
+        "channel",
+        "rank",
+        "bankgroup",
+        "bank",
+        "defense",
+        "open_row",
+        "act_allowed",
+        "pre_allowed",
+        "cas_allowed",
+        "blocked_until",
+        "ready_at",
+        "pending",
+        "consider_scheduled",
+        "acts",
+        "row_hits",
+        "row_misses",
+        "row_conflicts",
+        "cadence_act_counter",
+        "cadence_acts",
+        "rank_state",
+        "consider_handler",
+    )
 
-    pending: deque = field(default_factory=deque)
-    consider_scheduled: bool = False
+    def __init__(
+        self,
+        index: int,
+        channel: int,
+        rank: int,
+        bankgroup: int,
+        bank: int,
+        defense: "BankDefense",
+    ) -> None:
+        self.index = index
+        self.channel = channel
+        self.rank = rank
+        self.bankgroup = bankgroup
+        self.bank = bank
+        self.defense = defense
 
-    # Statistics
-    acts: int = 0
-    row_hits: int = 0
-    row_misses: int = 0
-    row_conflicts: int = 0
-    cadence_act_counter: int = 0
+        self.open_row: int | None = None
+        #: Earliest start for the next ACT (tRC after the previous ACT).
+        self.act_allowed = 0.0
+        #: Earliest start for the next PRE (tRAS / tRTP / tWR constraints).
+        self.pre_allowed = 0.0
+        #: Earliest start for the next CAS to the open row (tRCD after ACT).
+        self.cas_allowed = 0.0
+        #: Bank-scoped blackout (RFMsb / RFMpb / cadence RFMs end here).
+        self.blocked_until = 0.0
+        #: The bank is considered occupied by its current request until here.
+        self.ready_at = 0.0
+
+        self.pending: deque = deque()
+        self.consider_scheduled = False
+
+        # Statistics
+        self.acts = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.row_conflicts = 0
+        self.cadence_act_counter = 0
+        #: The defense's RFM cadence, cached by the controller at
+        #: construction (it is a per-design constant; reading the
+        #: property on every activation is measurable).
+        self.cadence_acts: int | None = defense.rfm_cadence_acts
+
+        #: Back-reference to the owning rank, set by the controller.
+        self.rank_state: Any = None
+        #: Pre-bound wake-up callback, set by the controller; scheduling a
+        #: consider event must not allocate a fresh closure per event.
+        self.consider_handler: Any = None
 
     def pick_request(self) -> "Request":
         """FR-FCFS: oldest row-hit first, otherwise the oldest request."""
-        if self.open_row is not None:
-            for i, req in enumerate(self.pending):
-                if req.row == self.open_row:
+        open_row = self.open_row
+        pending = self.pending
+        if open_row is not None:
+            for i, req in enumerate(pending):
+                if req.row == open_row:
                     if i:
-                        del self.pending[i]
+                        del pending[i]
                         return req
                     break
-        return self.pending.popleft()
+        return pending.popleft()
 
     @property
     def row_buffer_hit_rate(self) -> float:

@@ -4,23 +4,47 @@ A minimal priority-queue event loop shared by the memory-system and CPU
 models.  Events are ``(time, sequence, callback)`` triples; the sequence
 number makes ordering stable for simultaneous events (FIFO among equals),
 which keeps simulations deterministic.
+
+Hot-path layout: the dominant scheduling pattern in the memory system is
+"schedule at *now*, pop immediately" (consider-handler wakeups, completed
+requests re-arming a bank).  Those events never need heap ordering — they
+are already the earliest possible events — so they go to a plain FIFO
+deque instead of the heap, and the pop side runs a two-way merge of the
+deque and the heap by ``(time, sequence)``.  Both structures hold the
+same triples with globally unique sequence numbers, so the merged pop
+order is byte-identical to a single heap's.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Callable
 
 from repro.errors import ReproError
 
 EventCallback = Callable[[float], None]
 
+_heappush = heapq.heappush
+
 
 class EventQueue:
-    """Time-ordered event queue driving a simulation."""
+    """Time-ordered event queue driving a simulation.
+
+    ``_heap``, ``_seq`` and ``_now`` are read directly by the memory
+    controller's and system driver's innermost scheduling sites (an
+    inlined :meth:`schedule_future`); treat them as this package's
+    protected scheduling ABI rather than private state.
+    """
+
+    __slots__ = ("_heap", "_imm", "_seq", "_now", "events_processed")
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, EventCallback]] = []
+        #: Immediate events: scheduled at (or clamped to) *now*.  Times
+        #: are non-decreasing and sequences increasing, so the deque is
+        #: sorted by (time, seq) by construction.
+        self._imm: deque[tuple[float, int, EventCallback]] = deque()
         self._seq = 0
         self._now = 0.0
         self.events_processed = 0
@@ -37,13 +61,31 @@ class EventQueue:
         learn about work slightly after the instant it became possible,
         which must not travel backwards in time.
         """
+        seq = self._seq
+        self._seq = seq + 1
+        now = self._now
+        if time <= now:
+            self._imm.append((now, seq, callback))
+        else:
+            _heappush(self._heap, (time, seq, callback))
+
+    def schedule_future(self, time: float, callback: EventCallback) -> None:
+        """:meth:`schedule` for events known not to precede *now*.
+
+        Skips the immediate-deque dispatch: the entry always goes to the
+        heap, where an entry at exactly *now* still pops in FIFO seq
+        order, so this is behaviourally identical to :meth:`schedule` —
+        just one branch shorter for the controller's all-future events
+        (completions, considers, refresh ticks).
+        """
         if time < self._now:
             time = self._now
-        heapq.heappush(self._heap, (time, self._seq, callback))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (time, seq, callback))
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._imm)
 
     def step(self) -> bool:
         """Process exactly one event; returns False when the queue is empty.
@@ -52,13 +94,61 @@ class EventQueue:
         done") while perpetual events such as refresh keep the queue
         non-empty forever.
         """
-        if not self._heap:
+        imm = self._imm
+        heap = self._heap
+        if imm:
+            if heap and heap[0] < imm[0]:
+                time, _seq, callback = heapq.heappop(heap)
+            else:
+                time, _seq, callback = imm.popleft()
+        elif heap:
+            time, _seq, callback = heapq.heappop(heap)
+        else:
             return False
-        time, _seq, callback = heapq.heappop(self._heap)
         self._now = time
         callback(time)
         self.events_processed += 1
         return True
+
+    def drain_until(self, counter: list, target: int, max_events: int) -> int:
+        """Process events until ``counter[0] >= target``, in a tight loop.
+
+        The system driver's inner loop: ``counter`` is a one-element list
+        that event callbacks increment (e.g. one bump per finishing
+        core).  Pop order is identical to :meth:`step`, but the heap, the
+        deque and the stop condition are all locals, so the per-event
+        interpreter overhead is a single list indexing instead of a full
+        method dispatch per event.  Returns the number of events
+        processed; raises when the queue drains while the target is
+        unmet or when ``max_events`` is exceeded.
+        """
+        imm = self._imm
+        heap = self._heap
+        heappop = heapq.heappop
+        processed = 0
+        while counter[0] < target:
+            if imm:
+                if heap and heap[0] < imm[0]:
+                    event = heappop(heap)
+                else:
+                    event = imm.popleft()
+            elif heap:
+                event = heappop(heap)
+            else:
+                self.events_processed += processed
+                raise ReproError(
+                    "event queue drained before the simulation finished — "
+                    "a request was lost or a core deadlocked"
+                )
+            time = event[0]
+            self._now = time
+            event[2](time)
+            processed += 1
+            if processed > max_events:
+                self.events_processed += processed
+                raise ReproError("simulation exceeded the event budget")
+        self.events_processed += processed
+        return processed
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Process events in time order.
@@ -67,14 +157,24 @@ class EventQueue:
         ``until``, or after ``max_events`` (a runaway-simulation guard).
         Returns the final simulation time.
         """
+        imm = self._imm
+        heap = self._heap
+        heappop = heapq.heappop
         processed = 0
-        while self._heap:
-            time, _seq, callback = self._heap[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._heap)
+        while imm or heap:
+            if imm and not (heap and heap[0] < imm[0]):
+                head = imm[0]
+                if until is not None and head[0] > until:
+                    break
+                imm.popleft()
+            else:
+                head = heap[0]
+                if until is not None and head[0] > until:
+                    break
+                heappop(heap)
+            time = head[0]
             self._now = time
-            callback(time)
+            head[2](time)
             processed += 1
             self.events_processed += 1
             if max_events is not None and processed >= max_events:
@@ -82,6 +182,6 @@ class EventQueue:
                     f"event budget exhausted after {processed} events at "
                     f"t={self._now:.1f} ns — likely a scheduling livelock"
                 )
-        if until is not None and self._now < until and not self._heap:
+        if until is not None and self._now < until and not self._heap and not self._imm:
             self._now = until
         return self._now

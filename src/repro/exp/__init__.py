@@ -26,6 +26,12 @@ count.
 """
 
 from repro.exp.aggregate import comparison_from_sweep, mean_slowdown_by_override
+from repro.exp.attack import (
+    AttackJob,
+    attack_job,
+    execute_attack_job,
+    run_attack_jobs,
+)
 from repro.exp.cache import (
     CACHE_DIR_ENV,
     ResultStore,
@@ -49,9 +55,13 @@ from repro.exp.serialize import (
 from repro.exp.spec import BASELINE, Job, SweepSpec, overrides_label
 
 __all__ = [
+    "AttackJob",
     "BASELINE",
     "CACHE_DIR_ENV",
     "Job",
+    "attack_job",
+    "execute_attack_job",
+    "run_attack_jobs",
     "JobOutcome",
     "ResultStore",
     "SCHEMA_VERSION",

@@ -1,0 +1,133 @@
+"""Cached bandwidth-attack jobs: the orchestrator for Figure 19 sims.
+
+The performance-attack simulations
+(:func:`repro.sim.bandwidth.run_bandwidth_attack`) are not workload
+sweeps — there is no trace, no cores, no ``SystemResult`` — but they are
+exactly as cacheable: a run is fully determined by the defense, the
+configuration and the attack parameters.  This module gives them the
+same treatment :class:`~repro.exp.spec.Job` gives workload simulations:
+a frozen, picklable job record with a content-addressed cache key
+(code-version salted), executed through the shared
+:class:`~repro.exp.cache.ResultStore`.
+
+Closing the ROADMAP item: with this, every simulated figure —
+14/15/16/17/18/20/21/22 via ``SweepSpec`` and 19 via ``AttackJob`` —
+replays from one content-addressed cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.defenses import DefenseSpec, resolve_defense
+from repro.exp.cache import ResultStore
+from repro.exp.serialize import (
+    SCHEMA_VERSION,
+    canonical_json,
+    code_version_salt,
+    config_fingerprint,
+)
+from repro.params import MitigationVariant, SystemConfig, default_config
+from repro.sim.bandwidth import BandwidthResult, run_bandwidth_attack
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class AttackJob:
+    """One fully-specified bandwidth-attack simulation."""
+
+    defense: DefenseSpec
+    config: SystemConfig
+    measure_ns: float = 400_000.0
+    warmup_ns: float | None = None
+    pool_rows_per_bank: int = 24
+    attack_ranks: int = 1
+
+    @property
+    def label(self) -> str:
+        return f"attack/{self.defense.label}"
+
+    def cache_key(self) -> str:
+        """Content address (same contract as :meth:`Job.cache_key`)."""
+        identity = {
+            "kind": "bandwidth_attack",
+            "schema": SCHEMA_VERSION,
+            "code": code_version_salt(),
+            "defense": self.defense.to_dict(),
+            "config": config_fingerprint(self.config),
+            "measure_ns": self.measure_ns,
+            "warmup_ns": self.warmup_ns,
+            "pool_rows_per_bank": self.pool_rows_per_bank,
+            "attack_ranks": self.attack_ranks,
+        }
+        return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
+
+
+def attack_job(
+    defense: DefenseSpec | MitigationVariant | str,
+    config: SystemConfig | None = None,
+    **params,
+) -> AttackJob:
+    """Build an :class:`AttackJob`, applying the defense's QPRAC variant
+    to the configuration exactly as ``simulate_workload`` would."""
+    spec = resolve_defense(defense)
+    config = config or default_config()
+    if spec.variant is not None:
+        config = config.with_variant(spec.variant)
+    return AttackJob(defense=spec, config=config, **params)
+
+
+def execute_attack_job(job: AttackJob) -> dict:
+    """Run one attack simulation; returns the serialized payload."""
+    result = run_bandwidth_attack(
+        job.config,
+        defense_factory=job.defense.factory(),
+        measure_ns=job.measure_ns,
+        warmup_ns=job.warmup_ns,
+        pool_rows_per_bank=job.pool_rows_per_bank,
+        attack_ranks=job.attack_ranks,
+    )
+    return {
+        "acts": result.acts,
+        "alerts": result.alerts,
+        "duration_ns": result.duration_ns,
+    }
+
+
+def _result_from_payload(payload: dict) -> BandwidthResult:
+    return BandwidthResult(
+        acts=payload["acts"],
+        alerts=payload["alerts"],
+        duration_ns=payload["duration_ns"],
+    )
+
+
+def run_attack_jobs(
+    jobs: Sequence[AttackJob],
+    store: ResultStore | None = None,
+    progress: ProgressFn | None = None,
+) -> list[BandwidthResult]:
+    """Execute attack jobs, reusing cached results where available.
+
+    Results come back in job order; every fresh simulation is persisted
+    to ``store`` (salt-tagged, like workload jobs) the moment it
+    finishes, so interrupted figure runs resume.
+    """
+    results: list[BandwidthResult] = []
+    for index, job in enumerate(jobs):
+        key = job.cache_key() if store is not None else None
+        payload = store.get(key) if store is not None else None
+        cached = payload is not None
+        if payload is None:
+            payload = execute_attack_job(job)
+            if store is not None:
+                assert key is not None
+                store.put(key, payload, salt=code_version_salt())
+        results.append(_result_from_payload(payload))
+        if progress is not None:
+            source = "cached" if cached else "simulated"
+            progress(f"[{index + 1}/{len(jobs)}] {job.label} {source}")
+    return results

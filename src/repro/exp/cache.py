@@ -25,6 +25,10 @@ CACHE_SUBDIR = "qprac-repro"
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Automatic compaction floor: stores with less reclaimable waste than
+#: this are never auto-compacted (rewriting a small file buys nothing).
+AUTO_COMPACT_MIN_WASTE = 64
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME`` or ``~/.cache``."""
@@ -70,9 +74,15 @@ class StoreInfo:
 class ResultStore:
     """Durable key → payload map over an append-only JSONL file."""
 
-    def __init__(self, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        auto_compact: bool = True,
+    ) -> None:
         self.directory = Path(cache_dir) if cache_dir else default_cache_dir()
         self.path = self.directory / "results.jsonl"
+        #: Compactions this instance performed opportunistically.
+        self.auto_compactions = 0
         self._index: dict[str, dict] = {}
         #: Code-version salt each key was written under (None if unknown).
         self._salts: dict[str, str | None] = {}
@@ -88,6 +98,8 @@ class ResultStore:
         #: partial record and corrupts itself too.
         self._needs_newline = False
         self._load()
+        if auto_compact:
+            self._maybe_auto_compact()
 
     def _load(self) -> None:
         if not self.path.exists():
@@ -168,6 +180,32 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Maintenance (``repro cache info`` / ``repro cache gc``)
     # ------------------------------------------------------------------
+    def _maybe_auto_compact(self) -> None:
+        """Opportunistic GC: compact when reclaimable rows dominate.
+
+        Every sweep opens a store, so without this the JSONL file grows
+        by one full result set per simulator change (stale rows) plus
+        every superseded write, until someone remembers ``repro cache
+        gc``.  The policy is conservative: compaction runs only when the
+        waste both clears :data:`AUTO_COMPACT_MIN_WASTE` *and* outweighs
+        the live entries — small or mostly-live stores are never
+        rewritten.  Stale-row counting (which imports the simulator to
+        hash its sources) is deferred until the cheap waste counts have
+        already made compaction plausible.
+        """
+        live = len(self._index)
+        cheap_waste = (self._records - live) + self.skipped_lines
+        salted = sum(
+            1 for salt in self._salts.values() if salt is not None
+        )
+        if cheap_waste + salted < AUTO_COMPACT_MIN_WASTE:
+            return  # even if every salted row were stale: under the floor
+        stale = len(self._stale_keys())
+        waste = cheap_waste + stale
+        if waste >= AUTO_COMPACT_MIN_WASTE and waste > live - stale:
+            self.compact()
+            self.auto_compactions += 1
+
     def _stale_keys(self) -> set[str]:
         """Keys written under a different code-version salt than today's.
 

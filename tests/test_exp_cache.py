@@ -213,3 +213,67 @@ class TestDefaultDirectory:
         assert not store.path.exists()
         store.put("k", {})
         assert store.path.exists()
+
+
+class TestAutoCompaction:
+    """Opportunistic GC: stores compact themselves when waste dominates."""
+
+    @staticmethod
+    def _fill(store: ResultStore, dead: int, live: int) -> None:
+        for i in range(dead):
+            store.put("churn", {"value": i})  # every write supersedes
+        for i in range(live):
+            store.put(f"live-{i}", {"value": i})
+
+    def test_small_stores_are_left_alone(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._fill(store, dead=10, live=5)
+        reopened = ResultStore(tmp_path)
+        assert reopened.auto_compactions == 0
+        assert reopened.info().dead_records == 9  # one churn row is live
+
+    def test_mostly_live_stores_are_left_alone(self, tmp_path):
+        from repro.exp.cache import AUTO_COMPACT_MIN_WASTE
+
+        store = ResultStore(tmp_path)
+        self._fill(store, dead=AUTO_COMPACT_MIN_WASTE + 5,
+                   live=AUTO_COMPACT_MIN_WASTE + 50)
+        reopened = ResultStore(tmp_path)
+        assert reopened.auto_compactions == 0
+        assert reopened.info().dead_records > 0
+
+    def test_dead_dominated_store_auto_compacts_on_open(self, tmp_path):
+        from repro.exp.cache import AUTO_COMPACT_MIN_WASTE
+
+        store = ResultStore(tmp_path)
+        self._fill(store, dead=AUTO_COMPACT_MIN_WASTE * 2, live=8)
+        reopened = ResultStore(tmp_path)
+        assert reopened.auto_compactions == 1
+        info = reopened.info()
+        assert info.dead_records == 0
+        assert info.live_keys == 9  # 8 live rows + the surviving churn row
+        # All payloads survived the rewrite.
+        assert reopened.get("live-3") == {"value": 3}
+
+    def test_stale_dominated_store_auto_compacts_on_open(self, tmp_path):
+        from repro.exp.cache import AUTO_COMPACT_MIN_WASTE
+
+        store = ResultStore(tmp_path)
+        for i in range(AUTO_COMPACT_MIN_WASTE + 10):
+            store.put(f"old-{i}", {"value": i}, salt="obsolete-salt")
+        store.put("fresh", {"value": 1})
+        reopened = ResultStore(tmp_path)
+        assert reopened.auto_compactions == 1
+        info = reopened.info()
+        assert info.stale_records == 0
+        assert reopened.get("fresh") == {"value": 1}
+        assert reopened.get("old-1") is None
+
+    def test_auto_compact_can_be_disabled(self, tmp_path):
+        from repro.exp.cache import AUTO_COMPACT_MIN_WASTE
+
+        store = ResultStore(tmp_path)
+        self._fill(store, dead=AUTO_COMPACT_MIN_WASTE * 2, live=2)
+        reopened = ResultStore(tmp_path, auto_compact=False)
+        assert reopened.auto_compactions == 0
+        assert reopened.info().dead_records == AUTO_COMPACT_MIN_WASTE * 2 - 1
