@@ -205,45 +205,97 @@ def _measure_cell(
     return wall, system.events.events_processed, result.sim_time_ns
 
 
+def _measure_cell_task(task: dict) -> dict:
+    """Backend task: measure one cell ``repeats`` times, best time wins.
+
+    Module-level and dict-in/dict-out so any registered
+    :class:`~repro.exp.backend.SweepBackend` — including the
+    ``subprocess-ssh`` worker — can run bench cells.  Wall time is
+    measured *inside* the worker, so a parallel bench still reports
+    genuine per-cell wall clocks (noisier under contention; ``serial``
+    remains the reference for regression gating).
+    """
+    best_wall = float("inf")
+    events = 0
+    sim_time = 0.0
+    for _ in range(task["repeats"]):
+        wall, run_events, run_sim_time = _measure_cell(
+            task["workload"], task["defense"], task["n_entries"]
+        )
+        if wall < best_wall:
+            best_wall = wall
+        events = run_events
+        sim_time = run_sim_time
+    return {
+        "workload": task["workload"],
+        "defense": task["defense"],
+        "n_entries": task["n_entries"],
+        "wall_s": best_wall,
+        "events": events,
+        "events_per_s": events / best_wall if best_wall > 0 else 0.0,
+        "sim_time_ns": sim_time,
+        "repeats": task["repeats"],
+    }
+
+
 def run_bench(
     cells: Sequence[tuple[str, str]] = DEFAULT_CELLS,
     n_entries: int = DEFAULT_ENTRIES,
     repeats: int = 5,
     quick: bool = False,
     progress=None,
+    backend: str = "serial",
+    workers: int = 1,
+    hosts: Sequence[str] | None = None,
 ) -> BenchReport:
-    """Measure every cell ``repeats`` times; keep each cell's best time."""
+    """Measure every cell ``repeats`` times; keep each cell's best time.
+
+    ``backend`` dispatches cells through the sweep-backend registry
+    (``serial`` — the default and the timing reference — runs in
+    process; ``pool``/``local-queue``/``subprocess-ssh`` parallelise the
+    full run at some per-cell precision cost).
+    """
     if repeats < 1:
         raise ReproError(f"repeats must be >= 1, got {repeats}")
-    results: list[CellResult] = []
-    for workload, defense in cells:
-        best_wall = float("inf")
-        events = 0
-        sim_time = 0.0
-        for _ in range(repeats):
-            wall, run_events, run_sim_time = _measure_cell(
-                workload, defense, n_entries
-            )
-            if wall < best_wall:
-                best_wall = wall
-            events = run_events
-            sim_time = run_sim_time
-        cell = CellResult(
-            workload=workload,
-            defense=defense,
-            n_entries=n_entries,
-            wall_s=best_wall,
-            events=events,
-            events_per_s=events / best_wall if best_wall > 0 else 0.0,
-            sim_time_ns=sim_time,
-            repeats=repeats,
-        )
-        results.append(cell)
+    tasks = [
+        (index, {
+            "workload": workload,
+            "defense": defense,
+            "n_entries": n_entries,
+            "repeats": repeats,
+        })
+        for index, (workload, defense) in enumerate(cells)
+    ]
+    payloads: list[dict | None] = [None] * len(tasks)
+
+    def finish(index: int, payload: dict) -> None:
+        payloads[index] = payload
         if progress is not None:
             progress(
-                f"{cell.key}: {cell.wall_s:.3f}s "
-                f"({cell.events_per_s:,.0f} events/s)"
+                f"{payload['workload']}/{payload['defense']}: "
+                f"{payload['wall_s']:.3f}s "
+                f"({payload['events_per_s']:,.0f} events/s)"
             )
+
+    from repro.exp.backend import resolve_backend
+
+    chosen = resolve_backend(backend, jobs=workers, hosts=hosts)
+    chosen.execute(tasks, _measure_cell_task, finish)
+    missing = [
+        f"{cells[i][0]}/{cells[i][1]}"
+        for i, payload in enumerate(payloads) if payload is None
+    ]
+    if missing:
+        # A dropped cell must fail loudly: a report silently missing a
+        # cell would also silently pass the regression gate.
+        raise ReproError(
+            f"backend {chosen.name!r} returned no measurement for "
+            f"cell(s): {', '.join(missing)}"
+        )
+    results = [
+        CellResult(**payload)  # type: ignore[arg-type]
+        for payload in payloads
+    ]
     return BenchReport(
         cells=results,
         quick=quick,

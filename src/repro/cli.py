@@ -5,8 +5,10 @@ Usage::
     python -m repro security          # Figures 6-8, 13: analytical bounds
     python -m repro attacks           # Figures 2, 3, 23: Panopticon attacks
     python -m repro perf 429.mcf ...  # Figure 14/15-style variant sweep
-    python -m repro sweep 429.mcf ... # orchestrated sweep: --jobs, cached
+    python -m repro sweep 429.mcf ... # orchestrated sweep: --jobs/--backend
     python -m repro defenses          # list the registered defenses
+    python -m repro backends          # list the registered sweep backends
+    python -m repro worker ...        # execute a serialized job batch
     python -m repro cache info        # result-cache entry counts
     python -m repro cache gc          # compact the result cache
     python -m repro bench             # simulator throughput benchmark
@@ -125,20 +127,62 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     store = None if args.no_cache else ResultStore(args.cache_dir)
     progress = None if args.quiet else stderr_progress
-    sweep = run_sweep(spec, jobs=args.jobs, store=store, progress=progress)
+    sweep = run_sweep(spec, jobs=args.jobs, store=store, progress=progress,
+                      backend=args.backend, hosts=args.hosts)
     comparison = sweep.comparison()
     print(render_table(
         f"Orchestrated sweep (N_BO={args.nbo_value}, PRAC-{args.n_mit}, "
-        f"{args.entries} accesses/core, jobs={args.jobs})",
+        f"{args.entries} accesses/core, jobs={args.jobs}, "
+        f"backend={sweep.backend})",
         ["workload", "defense", "slowdown %", "alerts/tREFI"],
         _comparison_rows(comparison, [d.label for d in defenses]),
     ))
     cache_note = "cache disabled" if store is None else f"cache {store.path}"
-    print(
-        f"{sweep.total_jobs} jobs: {sweep.executed} simulated, "
-        f"{sweep.cache_hits} from cache ({cache_note}) "
-        f"in {sweep.elapsed_s:.2f}s"
+    rate = (
+        f" ({sweep.exec_rate:.2f} jobs/s)" if sweep.executed else ""
     )
+    # Executed and cached jobs are reported — and rated — separately:
+    # only simulated jobs count toward the backend's throughput.
+    print(
+        f"{sweep.total_jobs} jobs: {sweep.executed} simulated on "
+        f"{sweep.backend} in {sweep.exec_elapsed_s:.2f}s{rate}, "
+        f"{sweep.cache_hits} from cache ({cache_note}); "
+        f"total {sweep.elapsed_s:.2f}s"
+    )
+    if args.print_digest:
+        print(f"aggregate sha256: {_sweep_digest(sweep)}")
+    return 0
+
+
+def _sweep_digest(sweep) -> str:
+    """Byte-stable digest of the full aggregate: the equivalence probe
+    used by the CI backend-equivalence job."""
+    import hashlib
+
+    from repro.exp import canonical_json, result_to_dict
+
+    return hashlib.sha256(canonical_json(
+        [result_to_dict(o.result) for o in sweep.outcomes]
+    ).encode()).hexdigest()
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    from repro.exp.backend import backend_summaries
+
+    rows = [[name, summary] for name, summary in backend_summaries()]
+    print(render_table(
+        "Registered sweep backends (select with --backend)",
+        ["name", "summary"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.exp.worker import run_worker
+
+    run_worker(args.jobs_file, args.out,
+               progress=None if args.quiet else stderr_progress_line)
     return 0
 
 
@@ -217,6 +261,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         repeats=repeats,
         quick=args.quick,
         progress=None if args.quiet else stderr_progress_line,
+        backend=args.backend,
+        workers=args.jobs,
+        hosts=args.hosts,
     )
     rows = [
         [
@@ -387,6 +434,16 @@ def build_parser() -> argparse.ArgumentParser:
                    "$REPRO_CACHE_DIR or ~/.cache/qprac-repro)")
     p.add_argument("--no-cache", action="store_true",
                    help="simulate everything; do not read or write the cache")
+    p.add_argument("--backend", default="auto",
+                   help="execution backend (see `repro backends`): serial, "
+                   "pool, local-queue, subprocess-ssh; default auto = "
+                   "serial for --jobs 1, pool otherwise")
+    p.add_argument("--hosts", nargs="+", default=None, metavar="HOST",
+                   help="host list for --backend subprocess-ssh "
+                   "('local' spawns a plain subprocess)")
+    p.add_argument("--print-digest", action="store_true",
+                   help="print the sha256 of the aggregate payloads "
+                   "(backend-equivalence checks)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress on stderr")
     p.set_defaults(func=_cmd_sweep)
@@ -396,6 +453,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered defenses and their parameters",
     )
     p.set_defaults(func=_cmd_defenses)
+
+    p = sub.add_parser(
+        "backends",
+        help="list registered sweep-execution backends",
+    )
+    p.set_defaults(func=_cmd_backends)
+
+    p = sub.add_parser(
+        "worker",
+        help="execute a serialized job batch (subprocess-ssh backend)",
+        description="Run every task in a pickled jobs file and stream "
+        "{'index', 'payload'} JSONL rows to --out, flushing per task. "
+        "Spawned by the subprocess-ssh backend; also usable by external "
+        "schedulers.",
+    )
+    p.add_argument("--jobs-file", required=True,
+                   help="pickle file written by repro.exp.worker.write_jobs_file")
+    p.add_argument("--out", required=True,
+                   help="JSONL output path")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-task progress on stderr")
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
         "cache",
@@ -438,6 +517,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="measure and compare, but write no trajectory point")
     p.add_argument("--no-compare", action="store_true",
                    help="skip the regression comparison")
+    p.add_argument("--backend", default="serial",
+                   help="cell-execution backend (see `repro backends`); "
+                   "serial (default) gives the cleanest timings, the "
+                   "parallel backends trade per-cell precision for a "
+                   "faster full run")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for parallel backends")
+    p.add_argument("--hosts", nargs="+", default=None, metavar="HOST",
+                   help="host list for --backend subprocess-ssh")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-cell progress on stderr")
     p.set_defaults(func=_cmd_bench)

@@ -23,9 +23,20 @@ Every job is content addressed by its serialized defense spec, workload,
 configuration and code-version salt, so re-running any grid — mixed
 defenses included — is a cache replay, byte-identical at any ``jobs``
 count.
+
+Execution is pluggable: ``run_sweep(..., backend="local-queue")`` (or
+``pool``, ``serial``, ``subprocess-ssh`` with ``hosts=[...]``) routes
+the uncached remainder through the backend registry in
+:mod:`repro.exp.backend`; every backend aggregates byte-identically.
 """
 
 from repro.exp.aggregate import comparison_from_sweep, mean_slowdown_by_override
+from repro.exp.backend import (
+    SweepBackend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
 from repro.exp.attack import (
     AttackJob,
     attack_job,
@@ -66,6 +77,7 @@ __all__ = [
     "ResultStore",
     "SCHEMA_VERSION",
     "StoreInfo",
+    "SweepBackend",
     "SweepResult",
     "SweepSpec",
     "canonical_json",
@@ -75,6 +87,9 @@ __all__ = [
     "execute_job",
     "mean_slowdown_by_override",
     "overrides_label",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
     "result_from_dict",
     "result_to_dict",
     "run_sweep",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.defenses import DefenseSpec, resolve_defense
+from repro.errors import ReproError
 from repro.exp.cache import ResultStore
 from repro.exp.serialize import (
     SCHEMA_VERSION,
@@ -109,25 +110,65 @@ def run_attack_jobs(
     jobs: Sequence[AttackJob],
     store: ResultStore | None = None,
     progress: ProgressFn | None = None,
+    backend: str = "auto",
+    workers: int = 1,
+    hosts: Sequence[str] | None = None,
 ) -> list[BandwidthResult]:
     """Execute attack jobs, reusing cached results where available.
 
     Results come back in job order; every fresh simulation is persisted
     to ``store`` (salt-tagged, like workload jobs) the moment it
-    finishes, so interrupted figure runs resume.
+    finishes, so interrupted figure runs resume.  The uncached remainder
+    runs on any registered :class:`~repro.exp.backend.SweepBackend`
+    (``backend`` + ``workers``/``hosts``), sharing the equivalence
+    contract of workload sweeps: payloads are reassembled positionally,
+    so every backend aggregates byte-identically.
     """
-    results: list[BandwidthResult] = []
+    from repro.exp.backend import resolve_backend
+
+    total = len(jobs)
+    payloads: list[dict | None] = [None] * total
+    keys: list[str | None] = [None] * total
+    cached: list[bool] = [False] * total
+    completed = 0
+
+    pending: list[int] = []
     for index, job in enumerate(jobs):
-        key = job.cache_key() if store is not None else None
-        payload = store.get(key) if store is not None else None
-        cached = payload is not None
-        if payload is None:
-            payload = execute_attack_job(job)
-            if store is not None:
-                assert key is not None
-                store.put(key, payload, salt=code_version_salt())
-        results.append(_result_from_payload(payload))
+        if store is not None:
+            keys[index] = job.cache_key()
+            payload = store.get(keys[index])
+            if payload is not None:
+                payloads[index] = payload
+                cached[index] = True
+                completed += 1
+                if progress is not None:
+                    progress(f"[{completed}/{total}] {job.label} cached")
+                continue
+        pending.append(index)
+
+    def finish(index: int, payload: dict) -> None:
+        nonlocal completed
+        payloads[index] = payload
+        if store is not None:
+            assert keys[index] is not None
+            store.put(keys[index], payload, salt=code_version_salt())
+        completed += 1
         if progress is not None:
-            source = "cached" if cached else "simulated"
-            progress(f"[{index + 1}/{len(jobs)}] {job.label} {source}")
-    return results
+            progress(f"[{completed}/{total}] {jobs[index].label} simulated")
+
+    if backend == "auto" and (workers == 1 or len(pending) <= 1):
+        backend = "serial"
+    chosen = resolve_backend(backend, jobs=workers, hosts=hosts)
+    if pending:
+        chosen.execute(
+            [(index, jobs[index]) for index in pending],
+            execute_attack_job,
+            finish,
+        )
+    missing = [index for index in pending if payloads[index] is None]
+    if missing:
+        raise ReproError(
+            f"backend {chosen.name!r} returned no result for attack "
+            f"job(s) {missing}"
+        )
+    return [_result_from_payload(payload) for payload in payloads]

@@ -1,0 +1,556 @@
+"""Pluggable sweep-execution backends.
+
+:func:`~repro.exp.runner.run_sweep` splits a sweep into a cache-served
+part and an "execute the uncached remainder" part.  This module owns the
+second part: a :class:`SweepBackend` receives the pending ``(index,
+task)`` pairs, runs each task through a picklable ``run_one`` callable,
+and reports every finished payload through an ``emit(index, payload)``
+callback.  The caller persists and reassembles; the backend only decides
+*where and how* tasks run.
+
+Backends are resolved by name through a registry that mirrors
+``@register_defense``: anything registered here is addressable from
+``run_sweep(..., backend="name")``, ``run_attack_jobs``, ``run_bench``
+and the CLI (``repro sweep --backend local-queue --jobs 4``).
+
+Shipped backends:
+
+``serial``
+    Run every task in the calling process, in order.  The reference
+    implementation every other backend must match byte for byte.
+``pool``
+    ``ProcessPoolExecutor`` with chunked dispatch — the original
+    ``run_sweep(jobs=N)`` path, extracted.
+``local-queue``
+    A work-stealing multiprocessing queue: workers pull tasks from a
+    shared queue (fast workers naturally take more), send per-worker
+    heartbeats, and the parent retries tasks whose worker died and
+    streams every finished payload to ``emit`` immediately — so a sweep
+    killed mid-run resumes from the
+    :class:`~repro.exp.cache.ResultStore`.
+``subprocess-ssh``
+    Shells out ``python -m repro worker --jobs-file ...`` once per host
+    in a host list (``"local"`` spawns without ssh), exercising the
+    full serialization boundary — job pickling, result JSONL, process
+    isolation — that a real cluster backend needs.  Remote hosts are
+    assumed to share the filesystem (NFS-style) and have the package
+    importable.
+
+The equivalence contract: every backend calls the same ``run_one`` on
+the same task objects and returns the same canonical dict payloads, and
+the caller reassembles them positionally — so aggregates are
+byte-identical across backends (asserted by ``tests/test_backends.py``
+and the CI ``backend-equivalence`` job).
+
+Adding a backend::
+
+    from repro.exp.backend import SweepBackend, register_backend
+
+    @register_backend("my-cluster")
+    class MyClusterBackend(SweepBackend):
+        def __init__(self, jobs=1, hosts=None):
+            ...
+        def execute(self, tasks, run_one, emit):
+            for index, obj in tasks:
+                emit(index, run_one(obj))   # however it actually runs
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import queue
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+
+#: One pending unit of work: (position in the sweep, picklable task).
+Task = tuple[int, object]
+
+#: Called by the backend once per finished task, any order.
+EmitFn = Callable[[int, dict], None]
+
+#: Module-level (hence picklable) task executor, e.g. ``execute_job``.
+RunOneFn = Callable[[object], dict]
+
+#: Test-only fault hook: when this environment variable names a path and
+#: the file does not exist yet, the next ``local-queue`` worker to claim
+#: a task creates the file and dies via ``os._exit`` — simulating a
+#: worker killed mid-task exactly once.  Never set outside tests.
+FAULT_KILL_ONCE_ENV = "REPRO_FAULT_WORKER_KILL_ONCE"
+
+
+class SweepBackend:
+    """Executes pending sweep tasks; subclasses define where they run."""
+
+    #: Registry name (set by :func:`register_backend`).
+    name: str = "?"
+
+    def execute(
+        self, tasks: Sequence[Task], run_one: RunOneFn, emit: EmitFn
+    ) -> None:
+        """Run every task, reporting ``emit(index, payload)`` per finish.
+
+        ``emit`` may be called in any order (the caller reassembles
+        positionally) but must be called exactly once per task, from the
+        calling process — it touches the result store and progress
+        callbacks, which are not shared with workers.
+        """
+        raise NotImplementedError
+
+
+_BACKENDS: dict[str, type[SweepBackend]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator: make a :class:`SweepBackend` addressable by name."""
+
+    def deco(cls: type[SweepBackend]) -> type[SweepBackend]:
+        if name in _BACKENDS:
+            raise ReproError(f"backend {name!r} is already registered")
+        cls.name = name
+        _BACKENDS[name] = cls
+        return cls
+
+    return deco
+
+
+def registered_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def backend_summaries() -> list[tuple[str, str]]:
+    """``(name, one-line summary)`` per registered backend, sorted —
+    the ``repro backends`` listing."""
+    return [
+        (name, (_BACKENDS[name].__doc__ or "").strip().splitlines()[0])
+        for name in registered_backends()
+    ]
+
+
+def resolve_backend(
+    backend: str | SweepBackend,
+    jobs: int = 1,
+    hosts: Sequence[str] | None = None,
+) -> SweepBackend:
+    """Turn a name (or an already-built backend) into a ready instance.
+
+    ``"auto"`` picks ``serial`` for ``jobs<=1`` and ``pool`` otherwise —
+    the historical ``run_sweep`` behaviour.
+    """
+    if isinstance(backend, SweepBackend):
+        return backend
+    if backend == "auto":
+        backend = "serial" if jobs <= 1 else "pool"
+    cls = _BACKENDS.get(backend)
+    if cls is None:
+        known = ", ".join(registered_backends())
+        raise ReproError(
+            f"unknown sweep backend {backend!r}; registered backends: {known}"
+        )
+    return cls(jobs=jobs, hosts=hosts)
+
+
+# ----------------------------------------------------------------------
+# serial
+# ----------------------------------------------------------------------
+@register_backend("serial")
+class SerialBackend(SweepBackend):
+    """In-process, in-order execution: the reference implementation."""
+
+    def __init__(
+        self, jobs: int = 1, hosts: Sequence[str] | None = None
+    ) -> None:
+        del jobs, hosts
+
+    def execute(
+        self, tasks: Sequence[Task], run_one: RunOneFn, emit: EmitFn
+    ) -> None:
+        for index, obj in tasks:
+            emit(index, run_one(obj))
+
+
+# ----------------------------------------------------------------------
+# pool
+# ----------------------------------------------------------------------
+def _execute_task_batch(run_one: RunOneFn, objs: list) -> list[dict]:
+    """Worker entry point shared by ``pool`` and ``repro worker``."""
+    return [run_one(obj) for obj in objs]
+
+
+@register_backend("pool")
+class PoolBackend(SweepBackend):
+    """``ProcessPoolExecutor`` with chunked dispatch.
+
+    Chunking amortises pickling without starving workers (~4 chunks per
+    worker); chunks are consumed as they complete, not in submission
+    order, so every finished result reaches ``emit`` — and the store —
+    immediately.
+    """
+
+    def __init__(
+        self, jobs: int = 1, hosts: Sequence[str] | None = None
+    ) -> None:
+        del hosts
+        if jobs < 1:
+            raise ReproError(f"pool backend needs jobs >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def execute(
+        self, tasks: Sequence[Task], run_one: RunOneFn, emit: EmitFn
+    ) -> None:
+        if not tasks:
+            return
+        workers = min(self.jobs, len(tasks))
+        chunksize = max(1, math.ceil(len(tasks) / (workers * 4)))
+        chunks = [
+            list(tasks[start:start + chunksize])
+            for start in range(0, len(tasks), chunksize)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _execute_task_batch, run_one, [obj for _, obj in chunk]
+                ): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                for (index, _obj), payload in zip(
+                    futures[future], future.result()
+                ):
+                    emit(index, payload)
+
+
+# ----------------------------------------------------------------------
+# local-queue
+# ----------------------------------------------------------------------
+def _queue_worker(
+    slot: int,
+    generation: int,
+    run_one: RunOneFn,
+    task_queue,
+    result_queue,
+    beats,
+    heartbeat_s: float,
+    fault_path: str | None,
+) -> None:
+    """Worker loop: steal tasks until the shared queue runs dry.
+
+    Messages to the parent are ``(kind, slot, generation, data)``; the
+    generation lets the parent ignore stragglers from a worker it
+    already replaced.  Heartbeats go through a lock-free shared array
+    (not the queue) so a parent can spot a livelocked worker even when
+    the message path is wedged.
+    """
+    import threading
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_s):
+            beats[slot] = time.time()
+
+    threading.Thread(target=beat, daemon=True).start()
+    try:
+        while True:
+            try:
+                item = task_queue.get(timeout=0.1)
+            except queue.Empty:
+                break
+            index, obj = item
+            result_queue.put(("claim", slot, generation, index))
+            if fault_path and not os.path.exists(fault_path):
+                Path(fault_path).touch()
+                os._exit(17)  # test hook: die hard, mid-task, exactly once
+            try:
+                payload = run_one(obj)
+            except Exception as exc:  # deterministic failure: don't retry
+                result_queue.put(
+                    ("error", slot, generation, (index, repr(exc)))
+                )
+                break
+            result_queue.put(("result", slot, generation, (index, payload)))
+    finally:
+        stop.set()
+        result_queue.put(("exit", slot, generation, None))
+
+
+@register_backend("local-queue")
+class LocalQueueBackend(SweepBackend):
+    """Work-stealing multiprocessing queue with worker supervision.
+
+    Workers pull from one shared task queue, so load balances itself —
+    a slow task occupies one worker while the others drain the rest.
+    The parent supervises: per-worker heartbeats (via a shared array)
+    expose livelocked workers, a worker that dies mid-task gets its
+    claimed task re-enqueued (up to ``max_retries`` deaths per task) and
+    a replacement spawned, and every finished payload is emitted — and
+    therefore flushed to the result store — the moment it arrives, so a
+    killed sweep resumes from cache.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        hosts: Sequence[str] | None = None,
+        heartbeat_s: float = 0.5,
+        stall_timeout_s: float | None = 300.0,
+        max_retries: int = 2,
+    ) -> None:
+        del hosts
+        if jobs < 1:
+            raise ReproError(
+                f"local-queue backend needs jobs >= 1, got {jobs}"
+            )
+        self.jobs = jobs
+        self.heartbeat_s = heartbeat_s
+        self.stall_timeout_s = stall_timeout_s
+        self.max_retries = max_retries
+
+    def execute(
+        self, tasks: Sequence[Task], run_one: RunOneFn, emit: EmitFn
+    ) -> None:
+        if not tasks:
+            return
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        workers = min(self.jobs, len(tasks))
+        by_index = {index: obj for index, obj in tasks}
+        fault_path = os.environ.get(FAULT_KILL_ONCE_ENV) or None
+
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        for item in tasks:
+            task_queue.put(item)
+        beats = ctx.Array("d", workers, lock=False)
+
+        generations = [0] * workers
+        claims: dict[int, int] = {}     # slot -> claimed task index
+        exited: set[tuple[int, int]] = set()
+        retries: dict[int, int] = {}
+        procs: dict[int, object] = {}
+        done: set[int] = set()
+
+        def spawn(slot: int) -> None:
+            generations[slot] += 1
+            beats[slot] = time.time()
+            proc = ctx.Process(
+                target=_queue_worker,
+                args=(
+                    slot, generations[slot], run_one, task_queue,
+                    result_queue, beats, self.heartbeat_s, fault_path,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            procs[slot] = proc
+
+        def handle_crash(slot: int) -> None:
+            """Re-enqueue the dead worker's claim and replace it."""
+            index = claims.pop(slot, None)
+            procs.pop(slot)
+            if index is not None and index not in done:
+                count = retries.get(index, 0) + 1
+                retries[index] = count
+                if count > self.max_retries:
+                    raise ReproError(
+                        f"sweep task {index} lost {count} workers in a row "
+                        "(crash loop?); giving up"
+                    )
+                task_queue.put((index, by_index[index]))
+            if len(done) < len(tasks):
+                spawn(slot)
+
+        for slot in range(workers):
+            spawn(slot)
+
+        try:
+            while len(done) < len(tasks):
+                try:
+                    kind, slot, gen, data = result_queue.get(timeout=0.1)
+                except queue.Empty:
+                    pass
+                else:
+                    if gen != generations[slot]:
+                        continue  # straggler from a replaced worker
+                    if kind == "claim":
+                        claims[slot] = data
+                    elif kind == "result":
+                        index, payload = data
+                        claims.pop(slot, None)
+                        if index not in done:
+                            done.add(index)
+                            emit(index, payload)
+                    elif kind == "error":
+                        index, message = data
+                        raise ReproError(
+                            f"sweep task {index} failed in worker: {message}"
+                        )
+                    elif kind == "exit":
+                        exited.add((slot, gen))
+                        claims.pop(slot, None)
+                    continue
+                now = time.time()
+                for slot, proc in list(procs.items()):
+                    alive = proc.is_alive()
+                    if (
+                        alive
+                        and self.stall_timeout_s
+                        and now - beats[slot] > self.stall_timeout_s
+                    ):
+                        proc.terminate()   # livelocked: no heartbeat
+                        proc.join(5.0)
+                        alive = proc.is_alive()
+                    if alive:
+                        continue
+                    proc.join()
+                    if (slot, generations[slot]) in exited:
+                        procs.pop(slot)    # clean exit: queue ran dry
+                    else:
+                        handle_crash(slot)
+                if not procs and len(done) < len(tasks):
+                    # Every worker exited yet work remains (a crash so
+                    # abrupt even its claim message was lost): re-enqueue
+                    # whatever is missing — duplicate results are dropped
+                    # above — and restart one worker to finish up.  The
+                    # re-enqueue still counts against each task's retry
+                    # budget, or a task that kills workers before its
+                    # claim ever flushes would respawn them forever.
+                    for index, obj in tasks:
+                        if index not in done:
+                            count = retries.get(index, 0) + 1
+                            retries[index] = count
+                            if count > self.max_retries:
+                                raise ReproError(
+                                    f"sweep task {index} lost {count} "
+                                    "workers in a row (crash loop?); "
+                                    "giving up"
+                                )
+                            task_queue.put((index, obj))
+                    spawn(0)
+        finally:
+            for proc in procs.values():
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.terminate()
+            for q in (task_queue, result_queue):
+                q.close()
+                q.cancel_join_thread()
+
+
+# ----------------------------------------------------------------------
+# subprocess-ssh
+# ----------------------------------------------------------------------
+@register_backend("subprocess-ssh")
+class SubprocessSSHBackend(SweepBackend):
+    """Fan tasks out over a host list via ``python -m repro worker``.
+
+    Each host gets one contiguous slice of the tasks, serialized to a
+    jobs file (pickle); the worker subprocess streams ``{"index",
+    "payload"}`` JSONL rows to an output file which the parent reads
+    back and emits.  Host ``"local"`` spawns the worker directly (the
+    zero-setup path and the one the tests exercise); any other host name
+    is wrapped in ``ssh <host> ...`` and assumes a shared filesystem and
+    an importable ``repro`` package on the far side — exactly the
+    contract a real cluster scheduler shim would need, which is the
+    point: the serialization boundary is identical either way.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        hosts: Sequence[str] | None = None,
+        remote_python: str = "python3",
+    ) -> None:
+        del jobs
+        if not hosts:
+            raise ReproError(
+                "the subprocess-ssh backend needs --hosts (use 'local' "
+                "for a local subprocess)"
+            )
+        self.hosts = tuple(hosts)
+        self.remote_python = remote_python
+
+    def _command(self, host: str, jobs_file: Path, out_file: Path) -> list[str]:
+        worker_args = [
+            "-m", "repro", "worker",
+            "--jobs-file", str(jobs_file),
+            "--out", str(out_file),
+            # Progress would land in a stderr PIPE nobody drains until
+            # communicate(); on big batches the pipe fills and stalls
+            # the worker, so keep it off.
+            "--quiet",
+        ]
+        if host == "local":
+            return [sys.executable, *worker_args]
+        return ["ssh", host, self.remote_python, *worker_args]
+
+    def execute(
+        self, tasks: Sequence[Task], run_one: RunOneFn, emit: EmitFn
+    ) -> None:
+        from repro.exp.worker import read_results_file, write_jobs_file
+
+        if not tasks:
+            return
+        hosts = self.hosts[: len(tasks)]
+        env = dict(os.environ)
+        package_parent = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            f"{package_parent}{os.pathsep}{existing}"
+            if existing else package_parent
+        )
+        with tempfile.TemporaryDirectory(prefix="repro-ssh-") as tmp:
+            tmpdir = Path(tmp)
+            slices = _balanced_slices(list(tasks), len(hosts))
+            launched = []
+            for which, (host, piece) in enumerate(zip(hosts, slices)):
+                jobs_file = tmpdir / f"jobs-{which}.pkl"
+                out_file = tmpdir / f"out-{which}.jsonl"
+                write_jobs_file(jobs_file, run_one, piece)
+                proc = subprocess.Popen(
+                    self._command(host, jobs_file, out_file),
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    env=env,
+                )
+                launched.append((host, piece, out_file, proc))
+            expected = {index for index, _obj in tasks}
+            seen: set[int] = set()
+            for host, piece, out_file, proc in launched:
+                _stdout, stderr = proc.communicate()
+                if proc.returncode != 0:
+                    tail = stderr.decode(errors="replace").strip()[-2000:]
+                    raise ReproError(
+                        f"worker on host {host!r} exited with status "
+                        f"{proc.returncode}: {tail}"
+                    )
+                for index, payload in read_results_file(out_file):
+                    if index in expected and index not in seen:
+                        seen.add(index)
+                        emit(index, payload)
+            missing = sorted(expected - seen)
+            if missing:
+                raise ReproError(
+                    f"hosts returned no result for task(s) {missing}"
+                )
+
+
+def _balanced_slices(tasks: list[Task], parts: int) -> list[list[Task]]:
+    """Split into ``parts`` contiguous slices, sizes differing by <= 1."""
+    base, extra = divmod(len(tasks), parts)
+    slices = []
+    start = 0
+    for which in range(parts):
+        size = base + (1 if which < extra else 0)
+        slices.append(tasks[start:start + size])
+        start += size
+    return slices

@@ -14,10 +14,16 @@ corresponding jobs just become cache misses and re-simulate.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
+
+try:  # POSIX advisory locks; absent on some platforms (degrade gracefully)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 #: Subdirectory used under the user cache root when no directory is given.
 CACHE_SUBDIR = "qprac-repro"
@@ -38,6 +44,29 @@ def default_cache_dir() -> Path:
     xdg = os.environ.get("XDG_CACHE_HOME")
     root = Path(xdg) if xdg else Path.home() / ".cache"
     return root / CACHE_SUBDIR
+
+
+@contextlib.contextmanager
+def _store_lock(directory: Path):
+    """Advisory exclusive lock over a store directory (no-op without
+    fcntl).  Streaming sweeps append one JSONL row per finished job from
+    however many concurrent writers share the directory — the lock keeps
+    each row's bytes contiguous so interleaved writers never corrupt
+    each other's records, and compaction takes it across its re-read +
+    atomic rename so no streamed row lands on the dead inode.  The lock
+    lives in a sidecar file (never the data file): writers open the data
+    file only *after* acquiring it, so they always see a post-rename
+    path."""
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    directory.mkdir(parents=True, exist_ok=True)
+    with (directory / ".lock").open("a") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 def _current_salt() -> str:
@@ -131,6 +160,19 @@ class ResultStore:
             salt = record.get("salt")
             self._salts[record["key"]] = salt if isinstance(salt, str) else None
 
+    def _tail_is_torn(self) -> bool:
+        """True when the data file ends mid-line (crash during an
+        append, by any process).  Checked under the store lock."""
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return False
+        if size == 0:
+            return False
+        with self.path.open("rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+
     def _reload(self) -> None:
         """Re-read the file from scratch (picks up concurrent appends)."""
         self._index = {}
@@ -168,11 +210,19 @@ class ResultStore:
         if salt is not None:
             record["salt"] = salt
         line = json.dumps(record, sort_keys=True)
-        with self.path.open("a") as handle:
-            if self._needs_newline:
-                handle.write("\n")
-                self._needs_newline = False
-            handle.write(line + "\n")
+        with _store_lock(self.directory):
+            # Decide the repair newline from the file's *actual* tail,
+            # under the lock — not from load-time state: another process
+            # may have crashed mid-append (or repaired the tail) since
+            # this store loaded, and gluing onto its partial row would
+            # damage this record too.
+            torn = self._tail_is_torn()
+            self._needs_newline = False
+            with self.path.open("a") as handle:
+                if torn:
+                    handle.write("\n")
+                handle.write(line + "\n")
+                handle.flush()
         self._records += 1
         self._index[key] = payload
         self._salts[key] = salt
@@ -241,25 +291,33 @@ class ResultStore:
         would grow by one full result set per simulator change).  The
         rewrite is atomic (temp file + rename), so a crash
         mid-compaction leaves the original file intact.  The file is
-        re-read immediately before rewriting, so records appended by
-        another process since this store loaded are preserved (a writer
-        racing the rename itself can still lose its latest appends —
-        run ``cache gc`` while sweeps are quiescent).  Returns the
-        post-compaction :class:`StoreInfo`.
+        re-read immediately before rewriting — under the same advisory
+        lock every :meth:`put` takes — so records appended by another
+        process since this store loaded are preserved, and writers
+        racing the rename block until it completes instead of landing
+        rows on the dead inode.  Returns the post-compaction
+        :class:`StoreInfo`.
         """
         if self.path.exists():
-            self._reload()
-            for key in self._stale_keys():
-                del self._index[key]
-                del self._salts[key]
-            tmp = self.path.with_suffix(".jsonl.tmp")
-            with tmp.open("w") as handle:
-                for key, payload in self._index.items():
-                    record: dict = {"key": key, "payload": payload}
-                    if self._salts.get(key) is not None:
-                        record["salt"] = self._salts[key]
-                    handle.write(json.dumps(record, sort_keys=True) + "\n")
-            os.replace(tmp, self.path)
+            # Hold the store lock across the re-read and the rename, so
+            # rows streamed in by concurrent writers either land before
+            # the re-read (and survive) or block until the rename is
+            # done (and land in the compacted file).
+            with _store_lock(self.directory):
+                self._reload()
+                for key in self._stale_keys():
+                    del self._index[key]
+                    del self._salts[key]
+                tmp = self.path.with_suffix(".jsonl.tmp")
+                with tmp.open("w") as handle:
+                    for key, payload in self._index.items():
+                        record: dict = {"key": key, "payload": payload}
+                        if self._salts.get(key) is not None:
+                            record["salt"] = self._salts[key]
+                        handle.write(
+                            json.dumps(record, sort_keys=True) + "\n"
+                        )
+                os.replace(tmp, self.path)
         self._records = len(self._index)
         self.skipped_lines = 0
         self._needs_newline = False

@@ -1,29 +1,30 @@
-"""Sweep execution: cache lookup, parallel dispatch, aggregation.
+"""Sweep execution: cache lookup, backend dispatch, aggregation.
 
 :func:`run_sweep` is the orchestrator's entry point.  It expands a
 :class:`~repro.exp.spec.SweepSpec`, satisfies whatever it can from the
-:class:`~repro.exp.cache.ResultStore`, executes the remainder — in
-process for ``jobs=1``, on a ``ProcessPoolExecutor`` with chunked
-dispatch otherwise — and returns a :class:`SweepResult` whose outcomes
-are always in spec-expansion order.
+:class:`~repro.exp.cache.ResultStore`, hands the uncached remainder to a
+:class:`~repro.exp.backend.SweepBackend` resolved by name (``serial``,
+``pool``, ``local-queue``, ``subprocess-ssh``, or anything registered
+via :func:`~repro.exp.backend.register_backend`), and returns a
+:class:`SweepResult` whose outcomes are always in spec-expansion order.
 
-Determinism: workers return results through the same dict serialization
-used by the cache, and outcomes are reassembled positionally, so a
-``jobs=4`` sweep aggregates byte-identically to ``jobs=1`` (and to a
-fully cached replay).
+Determinism: every backend returns results through the same dict
+serialization used by the cache, and outcomes are reassembled
+positionally, so any backend at any worker count aggregates
+byte-identically to a serial in-process run (and to a fully cached
+replay).
 """
 
 from __future__ import annotations
 
-import math
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.cpu.system import SystemResult
 from repro.errors import ReproError
+from repro.exp.backend import SweepBackend, resolve_backend
 from repro.exp.cache import ResultStore
 from repro.exp.serialize import (
     code_version_salt,
@@ -38,9 +39,9 @@ ProgressFn = Callable[[str], None]
 def execute_job(job: Job) -> dict:
     """Run one job to completion; returns the serialized result payload.
 
-    Module-level so it pickles cleanly into worker processes.  Both the
-    serial and the parallel path route results through this dict form —
-    the single canonical representation shared with the cache.
+    Module-level so it pickles cleanly into worker processes.  Every
+    backend routes results through this dict form — the single canonical
+    representation shared with the cache.
     """
     from repro.sim.runner import simulate_workload
 
@@ -52,7 +53,8 @@ def execute_job(job: Job) -> dict:
 
 
 def execute_chunk(chunk: list[Job]) -> list[dict]:
-    """Worker entry point: run a batch of jobs, return their payloads."""
+    """Run a batch of jobs, return their payloads (kept for callers that
+    predate the backend layer)."""
     return [execute_job(job) for job in chunk]
 
 
@@ -74,10 +76,23 @@ class SweepResult:
     cache_hits: int
     executed: int
     elapsed_s: float
+    #: Name of the backend that ran the uncached remainder.
+    backend: str = "serial"
+    #: Wall time spent inside the backend (cache scanning excluded), so
+    #: throughput numbers never credit cached jobs to the backend.
+    exec_elapsed_s: float = 0.0
 
     @property
     def total_jobs(self) -> int:
         return len(self.outcomes)
+
+    @property
+    def exec_rate(self) -> float:
+        """Honest backend throughput: executed jobs per second of
+        backend wall time; 0.0 when nothing was executed."""
+        if self.executed == 0 or self.exec_elapsed_s <= 0:
+            return 0.0
+        return self.executed / self.exec_elapsed_s
 
     def baselines(self) -> dict[str, SystemResult]:
         """Baseline runs by workload (shared across all override sets)."""
@@ -119,20 +134,30 @@ def run_sweep(
     jobs: int = 1,
     store: ResultStore | None = None,
     progress: ProgressFn | None = None,
+    backend: str | SweepBackend = "auto",
+    hosts: Sequence[str] | None = None,
 ) -> SweepResult:
     """Execute a sweep, reusing cached results where available.
 
     Parameters
     ----------
     jobs:
-        Worker processes.  ``1`` (the default) runs everything in
-        process — no executor, no pickling of configs beyond the shared
-        dict round-trip.
+        Worker processes for the multi-process backends.  ``1`` (the
+        default, under ``backend="auto"``) runs everything in process.
     store:
         Result cache.  ``None`` disables caching entirely: every job is
         simulated and nothing is persisted.
     progress:
-        Callback receiving one human-readable line per completed job.
+        Callback receiving one human-readable line per completed job,
+        plus a final line summarising executed-vs-cached throughput.
+    backend:
+        Execution backend, by registry name or as a built
+        :class:`~repro.exp.backend.SweepBackend`.  ``"auto"`` keeps the
+        historical behaviour: in-process for ``jobs=1`` (or when at most
+        one job is pending), ``pool`` otherwise.
+    hosts:
+        Host list for the ``subprocess-ssh`` backend (``"local"`` spawns
+        a plain subprocess); ignored by the others.
     """
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -141,7 +166,8 @@ def run_sweep(
     total = len(expanded)
     payloads: list[dict | None] = [None] * total
     cached: list[bool] = [False] * total
-    completed = 0
+    cached_done = 0
+    executed_done = 0
 
     pending: list[int] = []
     keys: list[str | None] = [None] * total
@@ -152,47 +178,50 @@ def run_sweep(
             if payload is not None:
                 payloads[index] = payload
                 cached[index] = True
-                completed += 1
-                _report(progress, completed, total, job, cached=True)
+                cached_done += 1
+                _report(progress, cached_done + executed_done, total, job,
+                        cached=True)
                 continue
         pending.append(index)
 
     def finish(index: int, payload: dict) -> None:
-        nonlocal completed
+        nonlocal executed_done
         payloads[index] = payload
         if store is not None:
             assert keys[index] is not None
             # Tag the row with the salt baked into its key, so cache
             # compaction can identify rows stranded by code changes.
             store.put(keys[index], payload, salt=code_version_salt())
-        completed += 1
-        _report(progress, completed, total, expanded[index], cached=False)
+        executed_done += 1
+        _report(progress, cached_done + executed_done, total,
+                expanded[index], cached=False)
 
-    if jobs == 1 or len(pending) <= 1:
-        for index in pending:
-            finish(index, execute_job(expanded[index]))
-    else:
-        workers = min(jobs, len(pending))
-        # Chunked dispatch amortises pickling without starving workers:
-        # aim for ~4 chunks per worker.  Chunks are consumed as they
-        # complete (not in submission order) so every finished result is
-        # persisted to the store immediately — an interrupted sweep
-        # resumes from whatever actually ran, not from a prefix.
-        chunksize = max(1, math.ceil(len(pending) / (workers * 4)))
-        chunks = [
-            pending[start:start + chunksize]
-            for start in range(0, len(pending), chunksize)
-        ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    execute_chunk, [expanded[i] for i in chunk]
-                ): chunk
-                for chunk in chunks
-            }
-            for future in as_completed(futures):
-                for index, payload in zip(futures[future], future.result()):
-                    finish(index, payload)
+    if backend == "auto" and (jobs == 1 or len(pending) <= 1):
+        backend = "serial"
+    chosen = resolve_backend(backend, jobs=jobs, hosts=hosts)
+    exec_started = time.perf_counter()
+    if pending:
+        chosen.execute(
+            [(index, expanded[index]) for index in pending],
+            execute_job,
+            finish,
+        )
+    exec_elapsed = time.perf_counter() - exec_started
+    if executed_done != len(pending):
+        raise ReproError(
+            f"backend {chosen.name!r} finished {executed_done} of "
+            f"{len(pending)} pending jobs"
+        )
+
+    if progress is not None and total:
+        rate = (
+            f" ({len(pending) / exec_elapsed:.2f} jobs/s)"
+            if pending and exec_elapsed > 0 else ""
+        )
+        progress(
+            f"{len(pending)} executed on {chosen.name} in "
+            f"{exec_elapsed:.2f}s{rate}, {cached_done} from cache"
+        )
 
     outcomes = [
         JobOutcome(
@@ -208,6 +237,8 @@ def run_sweep(
         cache_hits=sum(cached),
         executed=len(pending),
         elapsed_s=time.perf_counter() - started,
+        backend=chosen.name,
+        exec_elapsed_s=exec_elapsed,
     )
 
 

@@ -1,0 +1,121 @@
+"""The out-of-process sweep worker (``python -m repro worker``).
+
+This is the far side of the serialization boundary the
+``subprocess-ssh`` backend exercises: a jobs file (pickle) carries the
+task list plus a reference to the module-level executor that runs one
+task, and the worker streams ``{"index": <int>, "payload": <dict>}``
+JSONL rows to its output file, flushing after every task so a killed
+worker leaves a readable prefix behind.
+
+The format is deliberately the minimum a real cluster backend needs —
+nothing here knows about sweeps, caches or defenses.  A jobs file is::
+
+    {"version": 1, "run_one": <picklable callable>, "tasks": [(index, obj), ...]}
+
+and the executor (:func:`repro.exp.runner.execute_job`,
+:func:`repro.exp.attack.execute_attack_job`, ...) must be a module-level
+function so pickling it records only its qualified name.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import ReproError
+
+#: Jobs-file layout version; bump on incompatible changes.
+JOBS_FILE_VERSION = 1
+
+
+def write_jobs_file(
+    path: str | Path,
+    run_one: Callable[[object], dict],
+    tasks: Sequence[tuple[int, object]],
+) -> None:
+    """Serialize a task batch for one worker invocation."""
+    record = {
+        "version": JOBS_FILE_VERSION,
+        "run_one": run_one,
+        "tasks": list(tasks),
+    }
+    with open(path, "wb") as handle:
+        pickle.dump(record, handle)
+
+
+def load_jobs_file(path: str | Path):
+    """Read a jobs file back; returns ``(run_one, tasks)``."""
+    try:
+        with open(path, "rb") as handle:
+            record = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise ReproError(f"unreadable jobs file {path}: {exc}") from exc
+    if (
+        not isinstance(record, dict)
+        or record.get("version") != JOBS_FILE_VERSION
+        or "run_one" not in record
+        or not isinstance(record.get("tasks"), list)
+    ):
+        raise ReproError(
+            f"jobs file {path} is not a version-{JOBS_FILE_VERSION} "
+            "worker jobs file"
+        )
+    return record["run_one"], record["tasks"]
+
+
+def run_worker(
+    jobs_file: str | Path,
+    out_path: str | Path,
+    progress: Callable[[str], None] | None = None,
+) -> int:
+    """Execute every task in ``jobs_file``; stream results to ``out_path``.
+
+    Each result row is written and flushed the moment its task finishes,
+    so an interrupted worker leaves a valid JSONL prefix the caller can
+    still consume.  Returns the number of completed tasks.
+    """
+    run_one, tasks = load_jobs_file(jobs_file)
+    completed = 0
+    with open(out_path, "w") as handle:
+        for index, obj in tasks:
+            payload = run_one(obj)
+            handle.write(
+                json.dumps({"index": index, "payload": payload},
+                           sort_keys=True) + "\n"
+            )
+            handle.flush()
+            completed += 1
+            if progress is not None:
+                progress(f"[{completed}/{len(tasks)}] task {index} done")
+    return completed
+
+
+def read_results_file(path: str | Path) -> Iterator[tuple[int, dict]]:
+    """Yield ``(index, payload)`` rows from a worker output file.
+
+    Damaged rows (a worker killed mid-write) are skipped — the caller
+    treats the missing indexes as failures or cache misses, same as the
+    :class:`~repro.exp.cache.ResultStore` contract.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if (
+            not isinstance(record, dict)
+            or not isinstance(record.get("index"), int)
+            or not isinstance(record.get("payload"), dict)
+        ):
+            continue
+        yield record["index"], record["payload"]
+
+

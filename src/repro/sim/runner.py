@@ -180,6 +180,8 @@ def run_variant_comparison(
     seed: int = 0,
     jobs: int = 1,
     store=None,
+    backend: str = "auto",
+    hosts=None,
 ) -> VariantComparison:
     """Figure 14/15 style sweep: defenses over a workload list.
 
@@ -202,4 +204,5 @@ def run_variant_comparison(
         n_entries=n_entries,
         seed=seed,
     )
-    return run_sweep(spec, jobs=jobs, store=store).comparison()
+    return run_sweep(spec, jobs=jobs, store=store, backend=backend,
+                     hosts=hosts).comparison()

@@ -1,0 +1,317 @@
+"""Tests for the pluggable sweep-execution backends.
+
+The contract under test: every backend runs the same canonical
+``run_one`` on the same task objects and the caller reassembles
+payloads positionally — so ``serial``, ``pool``, ``local-queue`` and
+``subprocess-ssh`` aggregate **byte-identically**, a killed sweep
+resumes from the :class:`~repro.exp.cache.ResultStore` to the same
+digest, and a worker death mid-task is retried instead of lost.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exp import (
+    ResultStore,
+    SweepSpec,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    run_sweep,
+)
+from repro.exp.backend import (
+    FAULT_KILL_ONCE_ENV,
+    LocalQueueBackend,
+    SerialBackend,
+    SweepBackend,
+    _balanced_slices,
+)
+from repro.exp.runner import execute_job
+from repro.exp.serialize import canonical_json, result_to_dict
+from repro.exp.worker import (
+    load_jobs_file,
+    read_results_file,
+    run_worker,
+    write_jobs_file,
+)
+
+ENTRIES = 300
+
+
+def mixed_spec() -> SweepSpec:
+    """Tiny mixed-defense grid: baseline + 2 defenses = 3 jobs."""
+    return SweepSpec.build(
+        ["541.leela"], ["qprac", "moat"], n_entries=ENTRIES
+    )
+
+
+def aggregate_bytes(sweep) -> str:
+    return canonical_json([result_to_dict(o.result) for o in sweep.outcomes])
+
+
+@pytest.fixture(scope="module")
+def serial_aggregate() -> str:
+    """Reference bytes every other backend must reproduce."""
+    return aggregate_bytes(run_sweep(mixed_spec(), jobs=1, store=None))
+
+
+class TestRegistry:
+    def test_shipped_backends_are_registered(self):
+        assert set(registered_backends()) >= {
+            "serial", "pool", "local-queue", "subprocess-ssh",
+        }
+
+    def test_unknown_backend_is_a_clear_error(self):
+        with pytest.raises(ReproError, match="unknown sweep backend"):
+            resolve_backend("nonsense")
+
+    def test_auto_resolves_by_jobs(self):
+        assert resolve_backend("auto", jobs=1).name == "serial"
+        assert resolve_backend("auto", jobs=4).name == "pool"
+
+    def test_instances_pass_through(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ReproError, match="already registered"):
+            register_backend("serial")(SerialBackend)
+
+    def test_external_backend_plugs_in(self):
+        @register_backend("test-inline")
+        class InlineBackend(SweepBackend):
+            def __init__(self, jobs=1, hosts=None):
+                pass
+
+            def execute(self, tasks, run_one, emit):
+                for index, obj in tasks:
+                    emit(index, run_one(obj))
+
+        try:
+            sweep = run_sweep(mixed_spec(), backend="test-inline")
+            assert sweep.backend == "test-inline"
+            assert sweep.executed == 3
+        finally:
+            from repro.exp.backend import _BACKENDS
+
+            del _BACKENDS["test-inline"]
+
+    def test_subprocess_ssh_requires_hosts(self):
+        with pytest.raises(ReproError, match="--hosts"):
+            resolve_backend("subprocess-ssh")
+
+    def test_balanced_slices_cover_everything_contiguously(self):
+        tasks = [(i, f"t{i}") for i in range(7)]
+        slices = _balanced_slices(tasks, 3)
+        assert [len(s) for s in slices] == [3, 2, 2]
+        assert [t for s in slices for t in s] == tasks
+
+
+class TestEquivalence:
+    """The acceptance criterion: byte-identical aggregates everywhere."""
+
+    @pytest.mark.parametrize("backend,jobs", [
+        ("pool", 4),
+        ("local-queue", 4),
+    ])
+    def test_parallel_backend_matches_serial_byte_identical(
+        self, backend, jobs, serial_aggregate
+    ):
+        sweep = run_sweep(mixed_spec(), jobs=jobs, backend=backend)
+        assert sweep.backend == backend
+        assert sweep.executed == sweep.total_jobs == 3
+        assert aggregate_bytes(sweep) == serial_aggregate
+
+    def test_subprocess_ssh_matches_serial_byte_identical(
+        self, serial_aggregate
+    ):
+        sweep = run_sweep(
+            mixed_spec(), backend="subprocess-ssh", hosts=["local", "local"]
+        )
+        assert sweep.backend == "subprocess-ssh"
+        assert aggregate_bytes(sweep) == serial_aggregate
+
+    def test_backends_fill_the_cache_identically(
+        self, tmp_path, serial_aggregate
+    ):
+        def rows(store):
+            return sorted(
+                json.dumps(json.loads(line), sort_keys=True)
+                for line in store.path.read_text().splitlines()
+            )
+
+        stores = {}
+        for backend, jobs in (("serial", 1), ("local-queue", 3)):
+            store = ResultStore(tmp_path / backend)
+            run_sweep(mixed_spec(), jobs=jobs, backend=backend, store=store)
+            stores[backend] = store
+        assert rows(stores["serial"]) == rows(stores["local-queue"])
+        # And a replay from either cache reproduces the serial bytes.
+        replay = run_sweep(
+            mixed_spec(), store=ResultStore(tmp_path / "local-queue")
+        )
+        assert replay.cache_hits == replay.total_jobs
+        assert aggregate_bytes(replay) == serial_aggregate
+
+    def test_attack_jobs_backend_matches_serial(self):
+        from repro.exp import attack_job, run_attack_jobs
+
+        jobs = [
+            attack_job("qprac", measure_ns=30_000.0),
+            attack_job("moat", measure_ns=30_000.0),
+        ]
+        serial = run_attack_jobs(jobs)
+        parallel = run_attack_jobs(jobs, backend="pool", workers=2)
+        assert [(r.acts, r.alerts, r.duration_ns) for r in serial] == [
+            (r.acts, r.alerts, r.duration_ns) for r in parallel
+        ]
+
+
+class TestLocalQueueSupervision:
+    def test_worker_death_mid_task_is_retried(
+        self, tmp_path, monkeypatch, serial_aggregate
+    ):
+        """A worker hard-killed mid-task (fault hook: ``os._exit`` after
+        claiming) must not lose the task: the parent re-enqueues it and
+        the sweep completes byte-identically."""
+        fault = tmp_path / "die-once"
+        monkeypatch.setenv(FAULT_KILL_ONCE_ENV, str(fault))
+        sweep = run_sweep(mixed_spec(), jobs=2, backend="local-queue")
+        assert fault.exists()  # the hook fired: one worker really died
+        assert sweep.executed == 3
+        assert aggregate_bytes(sweep) == serial_aggregate
+
+    def test_crash_loop_gives_up_with_a_clear_error(self, tmp_path):
+        """A task that kills every worker that touches it must fail the
+        sweep after max_retries, not spin forever."""
+
+        def emit(index, payload):  # pragma: no cover - must not be reached
+            raise AssertionError("no task should complete")
+
+        backend = LocalQueueBackend(jobs=1, max_retries=1)
+        with pytest.raises(ReproError, match="lost 2 workers"):
+            backend.execute([(0, None)], _always_die, emit)
+
+    def test_worker_exception_propagates_not_retries(self):
+        backend = LocalQueueBackend(jobs=1)
+        with pytest.raises(ReproError, match="boom"):
+            backend.execute(
+                [(0, None)], _always_raise, lambda i, p: None
+            )
+
+    def test_killed_sweep_resumes_from_store_to_same_digest(
+        self, tmp_path, serial_aggregate
+    ):
+        """The acceptance criterion: SIGKILL a local-queue sweep mid-run,
+        then resume — the store holds whatever finished, the resumed
+        sweep replays it and simulates the rest, same digest."""
+        cache_dir = tmp_path / "cache"
+        proc = multiprocessing.Process(
+            target=_run_local_queue_sweep, args=(str(cache_dir),)
+        )
+        proc.start()
+        store_file = cache_dir / "results.jsonl"
+        deadline = time.time() + 120
+        # Kill as soon as at least one finished row hit the disk.
+        while time.time() < deadline:
+            if store_file.exists() and store_file.read_text().count("\n"):
+                break
+            time.sleep(0.02)
+        else:
+            proc.kill()
+            pytest.fail("sweep never flushed a row to the store")
+        proc.kill()
+        proc.join(timeout=30)
+        flushed = len(ResultStore(cache_dir))
+        assert flushed >= 1
+        resumed = run_sweep(
+            mixed_spec(), jobs=1, store=ResultStore(cache_dir)
+        )
+        assert resumed.cache_hits >= 1
+        assert resumed.cache_hits + resumed.executed == resumed.total_jobs
+        assert aggregate_bytes(resumed) == serial_aggregate
+
+
+def _run_local_queue_sweep(cache_dir: str) -> None:
+    run_sweep(
+        mixed_spec(), jobs=2, backend="local-queue",
+        store=ResultStore(cache_dir),
+    )
+
+
+def _always_die(obj) -> dict:
+    os._exit(13)
+
+
+def _always_raise(obj) -> dict:
+    raise ValueError("boom")
+
+
+class TestWorkerSerializationBoundary:
+    def test_jobs_file_roundtrip(self, tmp_path):
+        jobs = mixed_spec().expand()
+        tasks = [(i, job) for i, job in enumerate(jobs)]
+        path = tmp_path / "jobs.pkl"
+        write_jobs_file(path, execute_job, tasks)
+        run_one, loaded = load_jobs_file(path)
+        assert run_one is execute_job
+        assert loaded == tasks
+
+    def test_rejects_damaged_jobs_file(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(ReproError, match="unreadable jobs file"):
+            load_jobs_file(path)
+
+    def test_run_worker_streams_results(self, tmp_path, serial_aggregate):
+        jobs = mixed_spec().expand()
+        jobs_file = tmp_path / "jobs.pkl"
+        out_file = tmp_path / "out.jsonl"
+        write_jobs_file(
+            jobs_file, execute_job, [(i, job) for i, job in enumerate(jobs)]
+        )
+        assert run_worker(jobs_file, out_file) == len(jobs)
+        rows = dict(read_results_file(out_file))
+        assert sorted(rows) == list(range(len(jobs)))
+        assert canonical_json(
+            [rows[i] for i in range(len(jobs))]
+        ) == serial_aggregate
+
+    def test_worker_cli_subprocess(self, tmp_path):
+        """The real boundary: a fresh interpreter via ``repro worker``."""
+        jobs = mixed_spec().expand()[:1]
+        jobs_file = tmp_path / "jobs.pkl"
+        out_file = tmp_path / "out.jsonl"
+        write_jobs_file(jobs_file, execute_job, [(0, jobs[0])])
+        env = dict(os.environ)
+        package_parent = str(Path(execute_job.__code__.co_filename).parents[2])
+        env["PYTHONPATH"] = (
+            package_parent + os.pathsep + env.get("PYTHONPATH", "")
+        ).rstrip(os.pathsep)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "worker",
+             "--jobs-file", str(jobs_file), "--out", str(out_file),
+             "--quiet"],
+            capture_output=True, env=env, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr.decode()
+        rows = list(read_results_file(out_file))
+        assert len(rows) == 1 and rows[0][0] == 0
+
+    def test_partial_output_rows_are_skipped(self, tmp_path):
+        out = tmp_path / "out.jsonl"
+        out.write_text(
+            json.dumps({"index": 0, "payload": {"v": 1}}) + "\n"
+            + '{"index": 1, "payl'  # killed mid-flush
+        )
+        assert list(read_results_file(out)) == [(0, {"v": 1})]

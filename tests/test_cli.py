@@ -69,6 +69,33 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache"])
 
+    def test_sweep_backend_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "429.mcf", "--backend", "local-queue", "--jobs", "4",
+             "--hosts", "local", "local", "--print-digest"]
+        )
+        assert args.backend == "local-queue"
+        assert args.hosts == ["local", "local"]
+        assert args.print_digest
+
+    def test_sweep_backend_defaults_to_auto(self):
+        args = build_parser().parse_args(["sweep", "429.mcf"])
+        assert args.backend == "auto" and args.hosts is None
+
+    def test_worker_requires_jobs_file_and_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+        args = build_parser().parse_args(
+            ["worker", "--jobs-file", "/tmp/j.pkl", "--out", "/tmp/o.jsonl"]
+        )
+        assert args.jobs_file == "/tmp/j.pkl" and args.out == "/tmp/o.jsonl"
+
+    def test_bench_backend_options(self):
+        args = build_parser().parse_args(
+            ["bench", "--backend", "pool", "--jobs", "2"]
+        )
+        assert args.backend == "pool" and args.jobs == 2
+
 
 class TestCommands:
     def test_security(self, capsys):
@@ -134,19 +161,49 @@ class TestCommands:
         assert "kept 2 live entries" in out
         # The cache still serves the sweep after compaction.
         assert main(argv) == 0
-        assert "0 simulated, 2 from cache" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "0 simulated" in out and "2 from cache" in out
 
     def test_sweep_tiny_run_then_cached_rerun(self, capsys, tmp_path):
         argv = ["sweep", "541.leela", "--defenses", "qprac", "--entries",
                 "400", "--cache-dir", str(tmp_path), "--quiet"]
         assert main(argv) == 0
         out = capsys.readouterr().out
-        assert "2 simulated, 0 from cache" in out
+        assert "2 simulated on serial" in out and "0 from cache" in out
         # The identical invocation must complete without simulating.
         assert main(argv) == 0
         out = capsys.readouterr().out
-        assert "0 simulated, 2 from cache" in out
+        assert "0 simulated" in out and "2 from cache" in out
         assert "541.leela" in out
+
+    def test_backends_listing(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serial", "pool", "local-queue", "subprocess-ssh"):
+            assert name in out
+
+    def test_sweep_unknown_backend_is_an_error(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "541.leela", "--defenses", "qprac", "--entries", "300",
+             "--backend", "nonsense", "--no-cache", "--quiet"]
+        ) == 1
+        assert "unknown sweep backend" in capsys.readouterr().err
+
+    def test_sweep_print_digest_is_backend_stable(self, capsys, tmp_path):
+        digests = []
+        for backend, jobs in (("serial", "1"), ("local-queue", "2")):
+            assert main(
+                ["sweep", "541.leela", "--defenses", "qprac", "--entries",
+                 "300", "--backend", backend, "--jobs", jobs,
+                 "--cache-dir", str(tmp_path / backend), "--quiet",
+                 "--print-digest"]
+            ) == 0
+            out = capsys.readouterr().out
+            line = [l for l in out.splitlines()
+                    if l.startswith("aggregate sha256: ")]
+            assert len(line) == 1
+            digests.append(line[0])
+        assert digests[0] == digests[1]
 
     def test_sweep_no_cache(self, capsys, tmp_path):
         assert main(

@@ -59,6 +59,35 @@ GOLDEN_HASHES = {
         "0697d05588b99f04d181badf83055931fed6f5cf7bfe4357b2bd295ad4f6e6c4",
 }
 
+#: One pinned digest per registered defense (429.mcf, 2000 entries,
+#: seed 0) so hot-path work can't silently perturb non-QPRAC variants.
+#: Parameterized defenses are pinned at the t_rh the figure benchmarks
+#: use.  Recorded under GOLDEN_ENVIRONMENT, post-PR-3 simulator.
+GOLDEN_DEFENSE_HASHES = {
+    "baseline":
+        "93a17b2eea3a4472b01b196497888d35673bcb41e24851eb902c8e1f9f512321",
+    "qprac":
+        "897704acb0ad6db9c9ee73dde1cd59b8c5cb340cd48309313cfe068474aa48f6",
+    "qprac-noop":
+        "b5a246debd17d8a00d13bad37960755029c286ea9b1dc2c8eacf963d06b86278",
+    "qprac+proactive":
+        "745e75c7eb7eb06c8314cd7adc299869cb34e8652137c11b7d132ec09e33c868",
+    "qprac+proactive-ea":
+        "f16711316a5badc37b2dd721f09168c7981cafb1c17f194203c7d1194d1e0252",
+    "qprac-ideal":
+        "b46625922184f93097b1801674a08359406aa255c769ceda929abf4faf8b17bf",
+    "moat":
+        "6ca0f748d86135671fd15a644e50c7b5559da2b549efa25d1a0b3d8cf23609cf",
+    "panopticon":
+        "ede049f387ff62f469129bbdea97974a998062d18b0efed0746c64c77f1c0afc",
+    "pride:t_rh=256":
+        "1a9682679065abca450e1d07e42c2d52746ae8137580c1c58773387c7639f8f9",
+    "mithril:t_rh=256":
+        "ce7b9b6465e56b51792f4742f556fb70a7f2554b6ed2ec1d2fd0c65ea256cc08",
+    "uprac":
+        "2242e3c1216f948db78586db9a5133d2a4717d88e08db999b7f9d65be62d3a0d",
+}
+
 needs_golden_env = pytest.mark.skipif(
     environment_fingerprint() != GOLDEN_ENVIRONMENT,
     reason=(
@@ -92,6 +121,28 @@ def test_simulate_workload_matches_pre_refactor_golden(
     assert result_digest(result) == GOLDEN_HASHES[
         (workload, defense, n_entries, seed)
     ]
+
+
+@needs_golden_env
+@pytest.mark.parametrize("defense", sorted(GOLDEN_DEFENSE_HASHES))
+def test_every_registered_defense_matches_golden(defense):
+    """Every defense family — not just QPRAC — is pinned byte-for-byte,
+    so future hot-path work can't silently perturb a non-QPRAC variant."""
+    result = simulate_workload(
+        "429.mcf", defense=defense, n_entries=2000, seed=0
+    )
+    assert result_digest(result) == GOLDEN_DEFENSE_HASHES[defense]
+
+
+def test_golden_table_covers_every_registered_defense():
+    """The pinned table tracks the registry: registering a defense
+    without pinning its digest fails loudly (parameterless defenses are
+    pinned by bare name; parameterized ones at a chosen operating point)."""
+    from repro.defenses import registered_defenses
+
+    pinned_families = {name.split(":")[0] for name in GOLDEN_DEFENSE_HASHES}
+    registered = {entry.name for entry in registered_defenses()}
+    assert registered == pinned_families
 
 
 @needs_golden_env

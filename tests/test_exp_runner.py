@@ -63,8 +63,30 @@ class TestSerialRun:
     def test_progress_reports_every_job(self):
         lines: list[str] = []
         run_sweep(tiny_spec(), jobs=1, progress=lines.append)
-        assert len(lines) == 4
-        assert all("simulated" in line for line in lines)
+        # One line per job plus the executed-vs-cached summary line.
+        assert len(lines) == 5
+        assert all("simulated" in line for line in lines[:4])
+        assert "4 executed on serial" in lines[-1]
+        assert "0 from cache" in lines[-1]
+
+    def test_progress_separates_cached_from_executed(self, tmp_path):
+        spec = tiny_spec(workloads=("541.leela",))
+        run_sweep(spec, jobs=1, store=ResultStore(tmp_path))
+        grown = tiny_spec()  # superset: 2 cached, 2 to execute
+        lines: list[str] = []
+        sweep = run_sweep(
+            grown, jobs=1, store=ResultStore(tmp_path), progress=lines.append
+        )
+        assert sum("cached" in l for l in lines[:-1]) == 2
+        assert sum("simulated" in l for l in lines[:-1]) == 2
+        # The summary rates only the executed jobs — cached hits must
+        # not inflate backend throughput.
+        assert "2 executed on serial" in lines[-1]
+        assert "2 from cache" in lines[-1]
+        assert sweep.exec_rate == pytest.approx(
+            sweep.executed / sweep.exec_elapsed_s
+        )
+        assert sweep.exec_elapsed_s <= sweep.elapsed_s
 
     def test_rejects_nonpositive_jobs(self):
         with pytest.raises(ReproError, match="jobs must be >= 1"):
