@@ -13,6 +13,10 @@ Environment knobs:
 * ``REPRO_BENCH_ENTRIES`` — trace length per core (default 6000).
 * ``REPRO_BENCH_JOBS`` — worker processes for the simulation sweeps
   (default 1; the sweeps are deterministic at any value).
+* ``REPRO_BENCH_ENGINE`` — simulation engine for every sweep (default
+  ``event``, the byte-identical reference; ``epoch`` runs the batched
+  approximate engine, several times faster — see ``repro engines``).
+  Cache rows are engine-keyed, so switching engines never mixes results.
 * ``REPRO_BENCH_CACHE`` — directory for the orchestrator's result cache.
   Unset (the default) disables caching so every benchmark run simulates
   honestly; point it somewhere persistent to iterate on figure code
@@ -59,6 +63,11 @@ def bench_entries() -> int:
 
 def bench_jobs() -> int:
     return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_engine() -> str:
+    """Simulation engine every figure sweep runs on (see module docs)."""
+    return os.environ.get("REPRO_BENCH_ENGINE", "event")
 
 
 @lru_cache(maxsize=1)
@@ -112,6 +121,7 @@ def baselines(config):
         config=config,
         include_baseline=True,
         n_entries=bench_entries(),
+        engine=bench_engine(),
     )
     return bench_sweep(spec).results_by_variant()[BASELINE]
 
@@ -129,6 +139,7 @@ def variant_runs(config):
         config=config,
         include_baseline=False,
         n_entries=bench_entries(),
+        engine=bench_engine(),
     )
     table = bench_sweep(spec).results_by_variant()
     return {MitigationVariant(name): runs for name, runs in table.items()}

@@ -12,7 +12,7 @@ sweep over variants x PRAC-level override sets, parallel with
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_sweep, bench_workloads, emit_table
+from conftest import bench_engine, bench_entries, bench_sweep, bench_workloads, emit_table
 
 from repro.exp import SweepSpec
 from repro.params import MitigationVariant
@@ -39,6 +39,7 @@ def test_fig16_prac_level_sensitivity(benchmark, config, baselines):
             config=config,
             include_baseline=False,
             n_entries=entries,
+            engine=bench_engine(),
         )
         sweep = bench_sweep(spec)
         rows = []

@@ -7,7 +7,13 @@ across proactive cadences (1 per 1/2/4 tREFI).
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_sweep, bench_workloads, emit_table
+from conftest import (
+    bench_engine,
+    bench_entries,
+    bench_sweep,
+    bench_workloads,
+    emit_table,
+)
 
 from repro.exp import SweepSpec, mean_slowdown_by_override
 from repro.params import MitigationVariant
@@ -24,11 +30,13 @@ def test_fig17_psq_size_sensitivity(benchmark, config, baselines):
         names, (MitigationVariant.QPRAC,),
         overrides=tuple({"psq_size": s} for s in sizes),
         config=config, include_baseline=False, n_entries=entries,
+        engine=bench_engine(),
     )
     cadence_spec = SweepSpec.build(
         names, (MitigationVariant.QPRAC_PROACTIVE_EA,),
         overrides=tuple({"proactive_every_n_refs": c} for c in cadences),
         config=config, include_baseline=False, n_entries=entries,
+        engine=bench_engine(),
     )
 
     def build():

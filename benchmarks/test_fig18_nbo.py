@@ -10,7 +10,7 @@ sweep over variants x N_BO override sets, parallel with
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_workloads, bench_sweep, emit_table
+from conftest import bench_engine, bench_entries, bench_workloads, bench_sweep, emit_table
 
 from repro.exp import SweepSpec, mean_slowdown_by_override
 from repro.params import MitigationVariant
@@ -36,6 +36,7 @@ def test_fig18_nbo_sensitivity(benchmark, config, baselines):
             config=config,
             include_baseline=False,
             n_entries=entries,
+            engine=bench_engine(),
         )
         sweep = bench_sweep(spec)
         table = {}

@@ -12,7 +12,13 @@ DefenseSpec-labeled jobs in the same cached, parallel run.
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_workloads, bench_sweep, emit_series
+from conftest import (
+    bench_engine,
+    bench_entries,
+    bench_sweep,
+    bench_workloads,
+    emit_series,
+)
 
 from repro.defenses import DefenseSpec
 from repro.exp import SweepSpec, mean_slowdown_by_override
@@ -39,6 +45,7 @@ def test_fig20_vs_mithril_and_pride(benchmark, config, baselines):
             config=config,
             include_baseline=False,
             n_entries=entries,
+            engine=bench_engine(),
         )
         sweep = bench_sweep(spec)
 

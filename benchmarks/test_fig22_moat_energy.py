@@ -12,7 +12,7 @@ spec parameter) over N_BO override sets, parallel with
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_sweep, bench_workloads, emit_table
+from conftest import bench_engine, bench_entries, bench_sweep, bench_workloads, emit_table
 
 from repro.energy import mitigation_energy_pct
 from repro.exp import SweepSpec
@@ -42,6 +42,7 @@ def test_fig22_moat_vs_qprac_energy(benchmark, config):
             config=config,
             include_baseline=False,
             n_entries=entries,
+            engine=bench_engine(),
         )
         sweep = bench_sweep(spec)
         table = {}

@@ -8,7 +8,7 @@ performance.
 
 from __future__ import annotations
 
-from conftest import bench_entries, bench_workloads, emit_table
+from conftest import bench_engine, bench_entries, bench_workloads, emit_table
 
 from repro.energy import mitigation_energy_pct
 from repro.params import MitigationVariant
@@ -33,7 +33,8 @@ def test_table3_energy_overhead(benchmark, config):
                 values = []
                 for name in names:
                     run = simulate_workload(
-                        name, config=cfg, variant=variant, n_entries=entries
+                        name, config=cfg, variant=variant,
+                        n_entries=entries, engine=bench_engine(),
                     )
                     values.append(mitigation_energy_pct(run, cfg))
                 table[(n_mit, variant)] = sum(values) / len(values)

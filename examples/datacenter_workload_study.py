@@ -43,6 +43,10 @@ def main() -> None:
                         "(default: ~/.cache/qprac-repro)")
     parser.add_argument("--no-cache", action="store_true",
                         help="always simulate; do not touch the cache")
+    parser.add_argument("--engine", default="event",
+                        help="simulation engine (see `repro engines`): "
+                        "event = reference fidelity, epoch = batched, "
+                        "several times faster")
     args = parser.parse_args()
 
     config = default_config()
@@ -58,6 +62,7 @@ def main() -> None:
             config=config,
             include_baseline=True,
             n_entries=ENTRIES,
+            engine=args.engine,
         ),
         jobs=args.jobs,
         store=None if args.no_cache else ResultStore(args.cache_dir),

@@ -77,7 +77,13 @@ DEFAULT_REGRESSION_THRESHOLD_PCT = 20.0
 
 @dataclass
 class CellResult:
-    """Measurement of one workload x defense cell."""
+    """Measurement of one workload x defense cell.
+
+    ``events`` counts the executing engine's *work units* — simulator
+    events for the ``event`` engine, consumed trace accesses for
+    ``epoch`` — so ``events_per_s`` is only comparable between cells of
+    the same engine.  Cross-engine comparisons use wall time.
+    """
 
     workload: str
     defense: str
@@ -87,6 +93,7 @@ class CellResult:
     events_per_s: float
     sim_time_ns: float
     repeats: int
+    engine: str = "event"
 
     @property
     def key(self) -> str:
@@ -102,6 +109,7 @@ class CellResult:
             "events_per_s": self.events_per_s,
             "sim_time_ns": self.sim_time_ns,
             "repeats": self.repeats,
+            "engine": self.engine,
         }
 
 
@@ -114,6 +122,12 @@ class BenchReport:
     repeats: int
     timestamp: str
     host: dict = field(default_factory=dict)
+    #: Engine the cells ran on (one engine per trajectory point).
+    engine: str = "event"
+    #: When ``engine`` is not the reference: the reference cell measured
+    #: under the ``event`` engine in the same run, for an honest
+    #: same-host speedup (``speedup_vs_event`` in the JSON).
+    reference_event: CellResult | None = None
 
     def cell(self, workload: str, defense: str) -> CellResult | None:
         for cell in self.cells:
@@ -125,25 +139,40 @@ class BenchReport:
     def reference(self) -> CellResult | None:
         return self.cell(*REFERENCE_CELL)
 
+    @property
+    def speedup_vs_event(self) -> float | None:
+        """Reference-cell wall-clock speedup of this engine over event."""
+        reference = self.reference
+        if reference is None or self.reference_event is None \
+                or reference.wall_s <= 0:
+            return None
+        return self.reference_event.wall_s / reference.wall_s
+
     def to_dict(self) -> dict:
         reference = self.reference
-        return {
+        payload = {
             "schema": BENCH_SCHEMA,
             "meta": {
                 "timestamp": self.timestamp,
                 "quick": self.quick,
                 "repeats": self.repeats,
                 "host": self.host,
+                "engine": self.engine,
             },
             "cells": [cell.to_dict() for cell in self.cells],
             "reference": reference.to_dict() if reference else None,
         }
+        if self.reference_event is not None:
+            payload["reference_event"] = self.reference_event.to_dict()
+            payload["speedup_vs_event"] = self.speedup_vs_event
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "BenchReport":
         meta = payload.get("meta", {})
-        cells = [
-            CellResult(
+
+        def cell_from(c: dict) -> CellResult:
+            return CellResult(
                 workload=c["workload"],
                 defense=c["defense"],
                 n_entries=c["n_entries"],
@@ -152,15 +181,18 @@ class BenchReport:
                 events_per_s=c["events_per_s"],
                 sim_time_ns=c["sim_time_ns"],
                 repeats=c.get("repeats", 1),
+                engine=c.get("engine", "event"),
             )
-            for c in payload.get("cells", [])
-        ]
+
+        ref_event = payload.get("reference_event")
         return cls(
-            cells=cells,
+            cells=[cell_from(c) for c in payload.get("cells", [])],
             quick=bool(meta.get("quick", False)),
             repeats=int(meta.get("repeats", 1)),
             timestamp=str(meta.get("timestamp", "")),
             host=dict(meta.get("host", {})),
+            engine=str(meta.get("engine", "event")),
+            reference_event=cell_from(ref_event) if ref_event else None,
         )
 
 
@@ -175,34 +207,37 @@ def host_fingerprint() -> dict:
 
 
 def _measure_cell(
-    workload: str, defense: str, n_entries: int, seed: int = 0
+    workload: str, defense: str, n_entries: int, seed: int = 0,
+    engine: str = "event",
 ) -> tuple[float, int, float]:
-    """Run one cell end to end; returns (wall_s, events, sim_time_ns).
+    """Run one cell end to end; returns (wall_s, work_units, sim_time_ns).
 
-    Mirrors :func:`repro.sim.runner.simulate_workload` — defense
-    resolution, trace generation, system construction and the event loop
-    are all inside the timed window — but keeps a handle on the system
-    so the event count is observable.
+    Mirrors :func:`repro.sim.runner.simulate_workload` — defense and
+    engine resolution, trace generation, construction and the simulation
+    itself are all inside the timed window — but drives the engine
+    directly so its work-unit counter is observable.
     """
     from repro.defenses import resolve_defense
     from repro.params import default_config
-    from repro.sim.runner import build_system
+    from repro.sim.engines import resolve_engine
+    from repro.workloads.suites import workload as lookup_workload
 
     started = time.perf_counter()
     spec = resolve_defense(defense)
     config = default_config()
     if spec.variant is not None:
         config = config.with_variant(spec.variant)
-    system = build_system(
-        workload,
+    sim = resolve_engine(engine).build()
+    result = sim.simulate(
+        lookup_workload(workload),
         config,
-        defense_factory=spec.factory(),
+        spec.factory(),
         n_entries=n_entries,
         seed=seed,
+        variant_name=spec.label,
     )
-    result = system.run(variant_name=spec.label)
     wall = time.perf_counter() - started
-    return wall, system.events.events_processed, result.sim_time_ns
+    return wall, sim.work_units, result.sim_time_ns
 
 
 def _measure_cell_task(task: dict) -> dict:
@@ -218,9 +253,11 @@ def _measure_cell_task(task: dict) -> dict:
     best_wall = float("inf")
     events = 0
     sim_time = 0.0
+    engine = task.get("engine", "event")
     for _ in range(task["repeats"]):
         wall, run_events, run_sim_time = _measure_cell(
-            task["workload"], task["defense"], task["n_entries"]
+            task["workload"], task["defense"], task["n_entries"],
+            engine=engine,
         )
         if wall < best_wall:
             best_wall = wall
@@ -235,6 +272,7 @@ def _measure_cell_task(task: dict) -> dict:
         "events_per_s": events / best_wall if best_wall > 0 else 0.0,
         "sim_time_ns": sim_time,
         "repeats": task["repeats"],
+        "engine": engine,
     }
 
 
@@ -247,22 +285,31 @@ def run_bench(
     backend: str = "serial",
     workers: int = 1,
     hosts: Sequence[str] | None = None,
+    engine: str = "event",
 ) -> BenchReport:
     """Measure every cell ``repeats`` times; keep each cell's best time.
 
     ``backend`` dispatches cells through the sweep-backend registry
     (``serial`` — the default and the timing reference — runs in
     process; ``pool``/``local-queue``/``subprocess-ssh`` parallelise the
-    full run at some per-cell precision cost).
+    full run at some per-cell precision cost).  ``engine`` selects the
+    simulation engine for every cell; when it is not the ``event``
+    reference, the reference cell is additionally measured under
+    ``event`` so the trajectory point records an honest same-host
+    ``speedup_vs_event``.
     """
     if repeats < 1:
         raise ReproError(f"repeats must be >= 1, got {repeats}")
+    from repro.sim.engines import resolve_engine
+
+    engine_label = resolve_engine(engine).label
     tasks = [
         (index, {
             "workload": workload,
             "defense": defense,
             "n_entries": n_entries,
             "repeats": repeats,
+            "engine": engine_label,
         })
         for index, (workload, defense) in enumerate(cells)
     ]
@@ -296,12 +343,37 @@ def run_bench(
         CellResult(**payload)  # type: ignore[arg-type]
         for payload in payloads
     ]
+    reference_event = None
+    if engine_label != "event" and any(
+        (c.workload, c.defense) == REFERENCE_CELL for c in results
+    ):
+        ref_payload = _measure_cell_task({
+            "workload": REFERENCE_CELL[0],
+            "defense": REFERENCE_CELL[1],
+            "n_entries": n_entries,
+            "repeats": repeats,
+            "engine": "event",
+        })
+        reference_event = CellResult(**ref_payload)
+        if progress is not None:
+            ref = next(
+                c for c in results
+                if (c.workload, c.defense) == REFERENCE_CELL
+            )
+            speedup = reference_event.wall_s / ref.wall_s \
+                if ref.wall_s > 0 else 0.0
+            progress(
+                f"event reference: {reference_event.wall_s:.3f}s "
+                f"({engine_label} speedup x{speedup:.2f})"
+            )
     return BenchReport(
         cells=results,
         quick=quick,
         repeats=repeats,
         timestamp=time.strftime("%Y%m%dT%H%M%SZ", time.gmtime()),
         host=host_fingerprint(),
+        engine=engine_label,
+        reference_event=reference_event,
     )
 
 
@@ -316,6 +388,25 @@ def trajectory_files(directory: str | Path = ".") -> list[Path]:
 def load_report(path: str | Path) -> BenchReport:
     with open(path) as handle:
         return BenchReport.from_dict(json.load(handle))
+
+
+def latest_trajectory_for_engine(
+    directory: str | Path = ".", engine: str = "event"
+) -> Path | None:
+    """Newest trajectory point recorded under ``engine``, or None.
+
+    Cells only ever compare within one engine, so the default regression
+    baseline must be engine-matched — otherwise a bench run would pick a
+    different engine's newer point, find zero comparable cells, and the
+    gate would silently pass."""
+    for path in reversed(trajectory_files(directory)):
+        try:
+            report = load_report(path)
+        except (OSError, ValueError, KeyError, TypeError):
+            continue  # unreadable/foreign file: not a usable baseline
+        if report.engine == engine:
+            return path
+    return None
 
 
 def write_report(report: BenchReport, directory: str | Path = ".") -> Path:
@@ -350,11 +441,14 @@ class CellComparison:
 def compare_reports(
     current: BenchReport, previous: BenchReport
 ) -> list[CellComparison]:
-    """Pair up cells measured in both reports (matching entry counts)."""
+    """Pair up cells measured in both reports (matching entry counts
+    *and* engines — a regression gate must never compare an ``epoch``
+    wall clock against an ``event`` baseline)."""
     comparisons = []
     for cell in current.cells:
         prev = previous.cell(cell.workload, cell.defense)
-        if prev is None or prev.n_entries != cell.n_entries:
+        if prev is None or prev.n_entries != cell.n_entries \
+                or prev.engine != cell.engine:
             continue
         comparisons.append(
             CellComparison(

@@ -8,6 +8,7 @@ Usage::
     python -m repro sweep 429.mcf ... # orchestrated sweep: --jobs/--backend
     python -m repro defenses          # list the registered defenses
     python -m repro backends          # list the registered sweep backends
+    python -m repro engines           # list the registered sim engines
     python -m repro worker ...        # execute a serialized job batch
     python -m repro cache info        # result-cache entry counts
     python -m repro cache gc          # compact the result cache
@@ -17,7 +18,8 @@ Usage::
     python -m repro workloads         # list the 57-workload suite
 
 Defenses are addressed by registry name with optional parameters, e.g.
-``--defenses qprac moat:proactive_every_n_refs=4 mithril:t_rh=256``.
+``--defenses qprac moat:proactive_every_n_refs=4 mithril:t_rh=256``;
+simulation engines likewise (``--engine epoch:trefi_chunk=4``).
 
 Every subcommand prints the same plain-text tables the benchmark harness
 writes to ``benchmarks/results/``.
@@ -95,11 +97,11 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     variants = tuple(MitigationVariant)
     comparison = run_variant_comparison(
         list(args.workloads), variants=variants, config=config,
-        n_entries=args.entries,
+        n_entries=args.entries, engine=args.engine,
     )
     print(render_table(
         f"Variant sweep (N_BO={args.nbo_value}, PRAC-{args.n_mit}, "
-        f"{args.entries} accesses/core)",
+        f"{args.entries} accesses/core, engine={args.engine})",
         ["workload", "variant", "slowdown %", "alerts/tREFI"],
         _comparison_rows(comparison, [v.value for v in variants]),
     ))
@@ -124,6 +126,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         config=config,
         n_entries=args.entries,
         seed=args.seed,
+        engine=args.engine,
     )
     store = None if args.no_cache else ResultStore(args.cache_dir)
     progress = None if args.quiet else stderr_progress
@@ -133,7 +136,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(render_table(
         f"Orchestrated sweep (N_BO={args.nbo_value}, PRAC-{args.n_mit}, "
         f"{args.entries} accesses/core, jobs={args.jobs}, "
-        f"backend={sweep.backend})",
+        f"backend={sweep.backend}, engine={spec.engine.label})",
         ["workload", "defense", "slowdown %", "alerts/tREFI"],
         _comparison_rows(comparison, [d.label for d in defenses]),
     ))
@@ -183,6 +186,26 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     run_worker(args.jobs_file, args.out,
                progress=None if args.quiet else stderr_progress_line)
+    return 0
+
+
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from repro.sim.engines import registered_engines
+
+    rows = [
+        [
+            entry.name,
+            ", ".join(p.human for p in entry.params) or "-",
+            entry.summary,
+        ]
+        for entry in registered_engines()
+    ]
+    print(render_table(
+        "Registered simulation engines (select with --engine "
+        "name:key=value,...)",
+        ["name", "parameters", "summary"],
+        rows,
+    ))
     return 0
 
 
@@ -242,10 +265,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         DEFAULT_ENTRIES,
         QUICK_ENTRIES,
         compare_reports,
+        latest_trajectory_for_engine,
         load_report,
         regressions,
         run_bench,
-        trajectory_files,
         write_report,
     )
 
@@ -264,6 +287,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.jobs,
         hosts=args.hosts,
+        engine=args.engine,
     )
     rows = [
         [
@@ -274,22 +298,48 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     ]
     print(render_table(
         f"Simulator benchmark ({entries} accesses/core, "
-        f"best of {repeats})",
-        ["workload", "defense", "entries", "wall s", "events", "events/s"],
+        f"best of {repeats}, engine={report.engine})",
+        ["workload", "defense", "entries", "wall s", "work units",
+         "units/s"],
         rows,
     ))
+    if report.reference_event is not None:
+        speedup = report.speedup_vs_event
+        print(
+            f"reference cell vs event engine: "
+            f"{report.reference_event.wall_s:.3f}s event / "
+            f"{report.reference.wall_s:.3f}s {report.engine} = "
+            f"x{speedup:.2f}"
+        )
 
     previous_path = None
     if args.baseline:
         previous_path = args.baseline
     else:
-        trajectory = trajectory_files(args.out_dir)
-        if trajectory:
-            previous_path = trajectory[-1]
+        # The newest point *of this engine*: wall clocks only compare
+        # within one engine, so a different engine's newer point must
+        # never shadow the real baseline (the gate would no-op).
+        previous_path = latest_trajectory_for_engine(
+            args.out_dir, report.engine
+        )
 
     status = 0
     if previous_path is not None and not args.no_compare:
         previous = load_report(previous_path)
+        if args.baseline and previous.engine != report.engine:
+            # An explicitly-passed baseline of the wrong engine must
+            # fail loudly: pairing zero cells would leave a regression
+            # gate (CI's per-engine bench-smoke legs) permanently
+            # green.  The default baseline is engine-matched upstream.
+            print(
+                f"error: baseline {previous_path} was recorded under "
+                f"engine {previous.engine!r}, this run is "
+                f"{report.engine!r}; wall clocks only compare within "
+                "one engine (re-record the baseline with "
+                f"--engine {report.engine})",
+                file=sys.stderr,
+            )
+            return 1
         comparisons = compare_reports(report, previous)
         if previous.host != report.host:
             print(
@@ -324,7 +374,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         else:
             print(
                 f"note: no comparable cells in {previous_path} "
-                "(different entry counts)",
+                "(different entry counts or engine)",
                 file=sys.stderr,
             )
 
@@ -407,6 +457,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--entries", type=int, default=5000)
     p.add_argument("--nbo-value", type=int, default=32)
     p.add_argument("--n-mit", type=int, default=1, choices=(1, 2, 4))
+    p.add_argument("--engine", default="event",
+                   help="simulation engine (see `repro engines`): event "
+                   "(reference) or epoch[:trefi_chunk=N]")
     p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser(
@@ -441,6 +494,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hosts", nargs="+", default=None, metavar="HOST",
                    help="host list for --backend subprocess-ssh "
                    "('local' spawns a plain subprocess)")
+    p.add_argument("--engine", default="event",
+                   help="simulation engine for every job (see `repro "
+                   "engines`); cached rows are engine-keyed, so event "
+                   "and epoch sweeps never mix")
     p.add_argument("--print-digest", action="store_true",
                    help="print the sha256 of the aggregate payloads "
                    "(backend-equivalence checks)")
@@ -453,6 +510,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered defenses and their parameters",
     )
     p.set_defaults(func=_cmd_defenses)
+
+    p = sub.add_parser(
+        "engines",
+        help="list registered simulation engines and their parameters",
+    )
+    p.set_defaults(func=_cmd_engines)
 
     p = sub.add_parser(
         "backends",
@@ -526,6 +589,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for parallel backends")
     p.add_argument("--hosts", nargs="+", default=None, metavar="HOST",
                    help="host list for --backend subprocess-ssh")
+    p.add_argument("--engine", default="event",
+                   help="simulation engine for every cell (see `repro "
+                   "engines`); non-event runs also measure the event "
+                   "reference cell and record speedup_vs_event")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-cell progress on stderr")
     p.set_defaults(func=_cmd_bench)

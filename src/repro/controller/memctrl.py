@@ -50,6 +50,24 @@ DefenseFactory = Callable[[int, SystemConfig], BankDefense]
 _new_request = object.__new__
 
 
+def rfm_scope_banks(scope: RfmScope, banks: list, alerting) -> list:
+    """Banks one Alert's RFMs land on, per Section VI-E scope semantics.
+
+    Shared policy of the simulation-engine tier: the event-driven
+    controller and the batched epoch engine resolve Alert scope through
+    this one function, over their own bank records (anything with a
+    ``.bank`` field works — :class:`~repro.dram.bank.BankState` here,
+    the epoch engine's bank rows there).
+    """
+    if scope is RfmScope.ALL_BANK:
+        return banks
+    if scope is RfmScope.SAME_BANK:
+        return [b for b in banks if b.bank == alerting.bank]
+    if scope is RfmScope.PER_BANK:
+        return [alerting]
+    raise ConfigError(f"unhandled RFM scope {scope}")
+
+
 class RankState:
     """Rank-scoped protocol and blackout state (one ``__slots__`` record)."""
 
@@ -558,14 +576,7 @@ class MemorySystem:
     def _rfm_scope_banks(
         self, rank: RankState, alerting: BankState
     ) -> list[BankState]:
-        scope = self.cfg.prac.rfm_scope
-        if scope is RfmScope.ALL_BANK:
-            return rank.banks
-        if scope is RfmScope.SAME_BANK:
-            return [b for b in rank.banks if b.bank == alerting.bank]
-        if scope is RfmScope.PER_BANK:
-            return [alerting]
-        raise ConfigError(f"unhandled RFM scope {scope}")
+        return rfm_scope_banks(self.cfg.prac.rfm_scope, rank.banks, alerting)
 
     # ------------------------------------------------------------------
     # Refresh

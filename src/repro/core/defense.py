@@ -104,6 +104,30 @@ def apply_mitigation(
     return victims
 
 
+class EpochBankView:
+    """Narrowed per-epoch view of one bank's defense.
+
+    Batched engines (:mod:`repro.sim.engines.epoch`) touch exactly three
+    defense hooks, thousands of times per tREFI epoch, on objects they
+    did not build.  This view is the contract between the engine tier
+    and the defense tier: the hooks are bound once per bank (no
+    per-call attribute dispatch), and the cadence constant is read once
+    — mirroring what the event-driven controller caches in
+    :class:`~repro.dram.bank.BankState`.  Any
+    :class:`BankDefense` works unmodified under either engine.
+    """
+
+    __slots__ = ("defense", "on_activation", "on_rfm", "on_ref",
+                 "cadence_acts")
+
+    def __init__(self, defense: "BankDefense") -> None:
+        self.defense = defense
+        self.on_activation = defense.on_activation
+        self.on_rfm = defense.on_rfm
+        self.on_ref = defense.on_ref
+        self.cadence_acts = defense.rfm_cadence_acts
+
+
 class BankDefense(ABC):
     """Abstract per-bank defense engine consumed by the DRAM device model."""
 

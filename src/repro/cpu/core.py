@@ -109,8 +109,8 @@ class TraceCore:
         self._on_finish = on_finish
         # Plain-list trace columns: indexing numpy arrays per entry boxes
         # a numpy scalar per access, which dominates the issue loop.
-        # ``needs`` folds the +1 (one memory op per entry) in up front.
-        self._needs: list[int] = [b + 1 for b in trace.bubbles.tolist()]
+        # ``needs`` carries the +1 (one memory op per entry) up front.
+        self._needs: list[int] = trace.instruction_needs().tolist()
         self._addresses: list[int] = trace.addresses.tolist()
         self._writes: list[bool] = trace.is_write.tolist()
         self._n = len(trace)

@@ -56,6 +56,45 @@ class SystemResult:
         trefis = self.sim_time_ns / 3900.0
         return self.alerts / trefis if trefis else 0.0
 
+    @classmethod
+    def from_stats(
+        cls,
+        workload: str,
+        variant: str,
+        sim_time_ns: float,
+        core_ipcs: list[float],
+        instructions: int,
+        stats,
+        llc_hit_rate: float,
+        mitigations: dict[MitigationReason, int],
+    ) -> "SystemResult":
+        """Assemble a result from raw memory-side counters.
+
+        ``stats`` is anything shaped like
+        :class:`~repro.controller.memctrl.MemStats`; both simulation
+        engines (event-driven and epoch-batched) report through this one
+        constructor so derived rates are computed identically.
+        """
+        total_mem = stats.reads + stats.writes
+        return cls(
+            workload=workload,
+            variant=variant,
+            sim_time_ns=sim_time_ns,
+            core_ipcs=core_ipcs,
+            instructions=instructions,
+            acts=stats.acts,
+            reads=stats.reads,
+            writes=stats.writes,
+            refs=stats.refs,
+            alerts=stats.alerts,
+            rfm_commands=stats.rfm_commands,
+            cadence_rfms=stats.cadence_rfms,
+            row_hit_rate=stats.row_hits / total_mem if total_mem else 0.0,
+            llc_hit_rate=llc_hit_rate,
+            avg_read_latency_ns=stats.avg_read_latency_ns,
+            mitigations=mitigations,
+        )
+
     def weighted_speedup_vs(self, baseline: "SystemResult") -> float:
         """Normalised weighted speedup against a baseline run.
 
@@ -185,24 +224,13 @@ class MulticoreSystem:
             core.start()
         self.events.drain_until(self._cores_done, len(self.cores), MAX_EVENTS)
         sim_time = max(core.finish_time for core in self.cores)
-        stats = self.memory.stats
-        total_mem = stats.reads + stats.writes
-        row_hit_rate = stats.row_hits / total_mem if total_mem else 0.0
-        return SystemResult(
+        return SystemResult.from_stats(
             workload=self.workload_name,
             variant=variant_name or self.cfg.variant.value,
             sim_time_ns=sim_time,
             core_ipcs=[core.ipc() for core in self.cores],
             instructions=sum(core.total_instructions for core in self.cores),
-            acts=stats.acts,
-            reads=stats.reads,
-            writes=stats.writes,
-            refs=stats.refs,
-            alerts=stats.alerts,
-            rfm_commands=stats.rfm_commands,
-            cadence_rfms=stats.cadence_rfms,
-            row_hit_rate=row_hit_rate,
+            stats=self.memory.stats,
             llc_hit_rate=self.llc.hit_rate,
-            avg_read_latency_ns=stats.avg_read_latency_ns,
             mitigations=self.memory.defense_stats(),
         )

@@ -46,6 +46,16 @@ class Trace:
         """Instructions represented: bubbles plus one memory op per entry."""
         return int(self.bubbles.sum()) + len(self)
 
+    def instruction_needs(self) -> np.ndarray:
+        """Per-entry instruction cost: the bubbles plus the memory op.
+
+        The one place the "+1 memory instruction per entry" convention
+        is folded in — the event-driven core's issue loop and the epoch
+        engine's vectorized front-end model both consume this column, so
+        they can never disagree on instruction accounting.
+        """
+        return self.bubbles.astype(np.int64) + 1
+
     @property
     def write_fraction(self) -> float:
         return float(self.is_write.mean())

@@ -42,13 +42,18 @@ with "unknown defense".
 from __future__ import annotations
 
 import inspect
-import types
-import typing
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.errors import ConfigError, ReproError
 from repro.params import MitigationVariant, SystemConfig
+from repro.specs import (
+    SpecParam,
+    check_params,
+    introspect_params,
+    parse_name_params,
+    render_value as _render_value,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.defense import BankDefense
@@ -58,66 +63,6 @@ DefenseBuilder = Callable[..., "BankDefense"]
 
 #: Canonical name of the paper's non-secure baseline defense.
 BASELINE_NAME = "baseline"
-
-
-def _parse_value(raw: str) -> object:
-    """Coerce one CLI parameter string to a Python value.
-
-    ``"4"`` → 4, ``"2.5"`` → 2.5, ``"true"``/``"false"`` → bool,
-    ``"none"`` → None; anything else stays a string.  Quote a value
-    (``mode='8'``) to keep it a string verbatim.
-    """
-    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in ("'", '"'):
-        return raw[1:-1]
-    lowered = raw.lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    if lowered in ("none", "null"):
-        return None
-    try:
-        return int(raw)
-    except ValueError:
-        pass
-    try:
-        return float(raw)
-    except ValueError:
-        pass
-    return raw
-
-
-def _render_value(value: object) -> str:
-    """Inverse of :func:`_parse_value`: quote strings that would
-    otherwise coerce to a different value — or split differently —
-    when parsed back (numeric-looking values, separators, quotes)."""
-    if isinstance(value, str) and (
-        _parse_value(value) != value
-        or any(ch in value for ch in ",=:'\"")
-    ):
-        quote = '"' if "'" in value else "'"
-        return f"{quote}{value}{quote}"
-    return str(value)
-
-
-def _split_params(text: str) -> list[str]:
-    """Split ``k=v,k=v`` on commas, honouring quoted values."""
-    items: list[str] = []
-    buffer: list[str] = []
-    quote: str | None = None
-    for ch in text:
-        if quote is not None:
-            buffer.append(ch)
-            if ch == quote:
-                quote = None
-        elif ch in ("'", '"'):
-            quote = ch
-            buffer.append(ch)
-        elif ch == ",":
-            items.append("".join(buffer))
-            buffer = []
-        else:
-            buffer.append(ch)
-    items.append("".join(buffer))
-    return items
 
 
 @dataclass(frozen=True)
@@ -149,24 +94,10 @@ class DefenseSpec:
     def from_string(cls, text: str) -> "DefenseSpec":
         """Parse the CLI syntax ``name`` or ``name:key=value,key=value``.
 
-        Values are coerced (int/float/bool/None) by :func:`_parse_value`.
+        Values are coerced (int/float/bool/None) by the shared grammar
+        in :mod:`repro.specs` — identical for defenses and engines.
         """
-        text = text.strip()
-        name, _, param_text = text.partition(":")
-        name = name.strip()
-        if not name:
-            raise ConfigError(f"defense spec {text!r} has no name")
-        params: dict[str, object] = {}
-        if param_text.strip():
-            for item in _split_params(param_text):
-                key, sep, raw = item.partition("=")
-                key = key.strip()
-                if not sep or not key:
-                    raise ConfigError(
-                        f"malformed defense parameter {item!r} in {text!r}; "
-                        "expected key=value"
-                    )
-                params[key] = _parse_value(raw.strip())
+        name, params = parse_name_params(text, "defense")
         return cls.of(name, **params)
 
     @classmethod
@@ -242,55 +173,10 @@ class DefenseSpec:
         return make
 
 
-#: Simple annotation types value validation understands; anything else
-#: (unannotated params, containers, protocols) is accepted unchecked.
-_CHECKABLE_TYPES = (int, float, bool, str)
-
-
-def _annotation_accepts(annotation: object, value: object) -> bool:
-    """True when ``value`` fits a simple annotation (lenient otherwise).
-
-    Understands the scalar types and PEP 604 / ``Optional`` unions over
-    them; ints are accepted for float params (standard numeric widening).
-    """
-    if isinstance(annotation, (types.UnionType,)) or \
-            typing.get_origin(annotation) is typing.Union:
-        return any(
-            _annotation_accepts(member, value)
-            for member in typing.get_args(annotation)
-        )
-    if annotation is type(None):
-        return value is None
-    if annotation is bool:
-        return isinstance(value, bool)
-    if annotation is float:
-        return isinstance(value, (int, float)) and not isinstance(value, bool)
-    if annotation is int:
-        return isinstance(value, int) and not isinstance(value, bool)
-    if annotation is str:
-        return isinstance(value, str)
-    return True  # unknown/complex annotation: no opinion
-
-
-@dataclass(frozen=True)
-class DefenseParam:
-    """One keyword parameter a registered builder accepts."""
-
-    name: str
-    default: object = None
-    required: bool = False
-    #: Resolved type annotation, or None when the builder left it off.
-    annotation: object = None
-
-    @property
-    def human(self) -> str:
-        return f"{self.name} (required)" if self.required \
-            else f"{self.name}={self.default}"
-
-    def accepts(self, value: object) -> bool:
-        if self.annotation is None:
-            return True
-        return _annotation_accepts(self.annotation, value)
+#: One keyword parameter a registered builder accepts — the shared
+#: :class:`~repro.specs.SpecParam` (same table the engine registry
+#: uses, so listings and validation can never diverge).
+DefenseParam = SpecParam
 
 
 @dataclass(frozen=True)
@@ -303,65 +189,19 @@ class RegisteredDefense:
     params: tuple[DefenseParam, ...] = field(default=())
 
     def check_params(self, params: Mapping[str, object]) -> None:
-        known = {p.name for p in self.params}
-        unknown = sorted(set(params) - known)
-        if unknown:
-            valid = ", ".join(sorted(known)) or "(none)"
-            raise ReproError(
-                f"unknown parameter(s) {', '.join(unknown)} for defense "
-                f"{self.name!r}; valid parameters: {valid}"
-            )
-        missing = sorted(
-            p.name for p in self.params if p.required and p.name not in params
-        )
-        if missing:
-            raise ReproError(
-                f"defense {self.name!r} requires parameter(s): "
-                f"{', '.join(missing)}"
-            )
-        for param in self.params:
-            if param.name in params and not param.accepts(params[param.name]):
-                value = params[param.name]
-                expected = getattr(
-                    param.annotation, "__name__", str(param.annotation)
-                )
-                raise ReproError(
-                    f"defense {self.name!r} parameter {param.name}="
-                    f"{value!r} has the wrong type "
-                    f"({type(value).__name__}; expected {expected})"
-                )
+        check_params("defense", self.name, self.params, params)
 
 
 def _introspect_params(builder: DefenseBuilder) -> tuple[DefenseParam, ...]:
     """Parameter table from a builder's signature (skipping bank/config)."""
-    signature = inspect.signature(builder)
-    names = list(signature.parameters)
-    if len(names) < 2:
+    if len(inspect.signature(builder).parameters) < 2:
         raise ConfigError(
             "a defense builder must accept (bank_index, config) plus "
             "keyword parameters"
         )
-    try:
-        hints = typing.get_type_hints(builder)
-    except Exception:
-        hints = {}  # unresolvable annotations: skip value validation
-    params = []
-    for parameter in list(signature.parameters.values())[2:]:
-        if parameter.kind in (
-            inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD
-        ):
-            raise ConfigError(
-                f"defense builder {builder!r} must declare explicit "
-                "keyword parameters (no *args/**kwargs)"
-            )
-        required = parameter.default is inspect.Parameter.empty
-        params.append(DefenseParam(
-            name=parameter.name,
-            default=None if required else parameter.default,
-            required=required,
-            annotation=hints.get(parameter.name),
-        ))
-    return tuple(params)
+    return introspect_params(
+        builder, skip=2, kind="defense builder", owner=repr(builder)
+    )
 
 
 class DefenseRegistry:

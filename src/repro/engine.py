@@ -5,6 +5,13 @@ models.  Events are ``(time, sequence, callback)`` triples; the sequence
 number makes ordering stable for simultaneous events (FIFO among equals),
 which keeps simulations deterministic.
 
+This queue is the substrate of the ``event`` *simulation engine* — the
+byte-identical reference tier of the engine registry
+(:mod:`repro.sim.engines`).  Alternative engines (the batched ``epoch``
+tier) do not use an event queue at all; anything driving simulations
+should select an engine through the registry rather than building on
+:class:`EventQueue` directly.
+
 Hot-path layout: the dominant scheduling pattern in the memory system is
 "schedule at *now*, pop immediately" (consider-handler wakeups, completed
 requests re-arming a bank).  Those events never need heap ordering — they

@@ -32,13 +32,22 @@ from repro.exp.serialize import (
 )
 from repro.params import MitigationVariant, SystemConfig, default_config
 from repro.sim.bandwidth import BandwidthResult, run_bandwidth_attack
+from repro.sim.engines import DEFAULT_ENGINE_SPEC, EngineSpec, resolve_engine
 
 ProgressFn = Callable[[str], None]
 
 
 @dataclass(frozen=True)
 class AttackJob:
-    """One fully-specified bandwidth-attack simulation."""
+    """One fully-specified bandwidth-attack simulation.
+
+    ``engine`` joins the cache key like workload jobs' — today only the
+    ``event`` reference can execute bandwidth attacks (the attacker
+    drives the controller's Alert protocol cycle-by-cycle, which the
+    batched engine does not model), and :func:`execute_attack_job`
+    rejects anything else with a clear error rather than silently
+    falling back.
+    """
 
     defense: DefenseSpec
     config: SystemConfig
@@ -46,6 +55,7 @@ class AttackJob:
     warmup_ns: float | None = None
     pool_rows_per_bank: int = 24
     attack_ranks: int = 1
+    engine: EngineSpec = DEFAULT_ENGINE_SPEC
 
     @property
     def label(self) -> str:
@@ -63,6 +73,7 @@ class AttackJob:
             "warmup_ns": self.warmup_ns,
             "pool_rows_per_bank": self.pool_rows_per_bank,
             "attack_ranks": self.attack_ranks,
+            "engine": self.engine.to_dict(),
         }
         return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
 
@@ -70,6 +81,7 @@ class AttackJob:
 def attack_job(
     defense: DefenseSpec | MitigationVariant | str,
     config: SystemConfig | None = None,
+    engine: EngineSpec | str | None = None,
     **params,
 ) -> AttackJob:
     """Build an :class:`AttackJob`, applying the defense's QPRAC variant
@@ -78,11 +90,18 @@ def attack_job(
     config = config or default_config()
     if spec.variant is not None:
         config = config.with_variant(spec.variant)
-    return AttackJob(defense=spec, config=config, **params)
+    return AttackJob(defense=spec, config=config,
+                     engine=resolve_engine(engine), **params)
 
 
 def execute_attack_job(job: AttackJob) -> dict:
     """Run one attack simulation; returns the serialized payload."""
+    if not job.engine.is_reference:
+        raise ReproError(
+            f"bandwidth attacks require the event reference engine; "
+            f"{job.engine.label!r} does not model the attacker's "
+            "cycle-level Alert interplay"
+        )
     result = run_bandwidth_attack(
         job.config,
         defense_factory=job.defense.factory(),

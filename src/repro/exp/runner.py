@@ -47,7 +47,7 @@ def execute_job(job: Job) -> dict:
 
     result = simulate_workload(
         job.workload, config=job.config, defense=job.defense,
-        n_entries=job.n_entries, seed=job.seed,
+        n_entries=job.n_entries, seed=job.seed, engine=job.engine,
     )
     return result_to_dict(result)
 

@@ -33,7 +33,9 @@ from repro.workloads.synthetic import WorkloadSpec
 #: Bump when the cached payload layout changes; old rows become misses.
 #: v2: jobs are keyed by their serialized DefenseSpec (name + params)
 #: instead of a QPRAC variant name.
-SCHEMA_VERSION = 2
+#: v3: the serialized EngineSpec joins every job identity, so rows
+#: simulated by different engines can never collide.
+SCHEMA_VERSION = 3
 
 
 @lru_cache(maxsize=1)
@@ -93,7 +95,7 @@ def workload_fingerprint(spec: WorkloadSpec) -> dict:
 #: covered by :data:`SCHEMA_VERSION` instead.
 SIMULATION_SOURCES = (
     "controller", "core", "cpu", "defenses", "dram", "mitigations", "sim",
-    "workloads", "engine.py", "errors.py", "params.py",
+    "workloads", "engine.py", "errors.py", "params.py", "specs.py",
 )
 
 

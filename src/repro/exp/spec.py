@@ -29,6 +29,7 @@ from typing import Iterable, Mapping, Sequence
 from repro.defenses import BASELINE_NAME, DefenseSpec, resolve_defense
 from repro.errors import ConfigError
 from repro.params import MitigationVariant, PRACParams, SystemConfig, default_config
+from repro.sim.engines import DEFAULT_ENGINE_SPEC, EngineSpec, resolve_engine
 from repro.exp.serialize import (
     SCHEMA_VERSION,
     canonical_json,
@@ -83,6 +84,8 @@ class Job:
     config: SystemConfig
     n_entries: int
     seed: int
+    #: Simulation engine executing this job (``event`` = the reference).
+    engine: EngineSpec = DEFAULT_ENGINE_SPEC
 
     @property
     def variant(self) -> MitigationVariant | None:
@@ -104,10 +107,11 @@ class Job:
         Includes a salt over the simulator sources
         (:func:`~repro.exp.serialize.code_version_salt`) so stale results
         are never served across code changes, and the payload schema
-        version so layout changes invalidate cleanly.  The defense enters
-        as its serialized ``{name, params}`` form — independent of the
-        registry's contents or registration order, so registering new
-        defenses never perturbs existing keys.
+        version so layout changes invalidate cleanly.  The defense and
+        the engine enter as their serialized ``{name, params}`` forms —
+        independent of the registries' contents or registration order,
+        so registering new defenses or engines never perturbs existing
+        keys, and rows produced by different engines can never collide.
         """
         identity = {
             "schema": SCHEMA_VERSION,
@@ -118,6 +122,7 @@ class Job:
             "config": config_fingerprint(self.config),
             "n_entries": self.n_entries,
             "seed": self.seed,
+            "engine": self.engine.to_dict(),
         }
         return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
 
@@ -146,6 +151,12 @@ class SweepSpec:
         derived deterministically (currently the base seed itself — trace
         generation further mixes in the workload name and core index, so
         distinct jobs never share a trace stream).
+    engine:
+        Simulation engine every job in the grid runs on — an
+        :class:`~repro.sim.engines.EngineSpec`, a ``"name:k=v"`` string
+        or ``None`` for the byte-identical ``event`` reference.  Joins
+        every job's cache key, so grids swept under different engines
+        never share rows.
     """
 
     workloads: tuple[WorkloadSpec, ...]
@@ -155,6 +166,7 @@ class SweepSpec:
     include_baseline: bool = True
     n_entries: int = 20_000
     seed: int = 0
+    engine: EngineSpec | str | None = DEFAULT_ENGINE_SPEC
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -170,6 +182,7 @@ class SweepSpec:
             "defenses",
             tuple(resolve_defense(d) for d in self.defenses),
         )
+        object.__setattr__(self, "engine", resolve_engine(self.engine))
         object.__setattr__(
             self,
             "overrides",
@@ -237,6 +250,7 @@ class SweepSpec:
                         config=self.config,
                         n_entries=self.n_entries,
                         seed=self.job_seed(workload, BASELINE),
+                        engine=self.engine,
                     ))
                 for defense in self.defenses:
                     variant = defense.variant
@@ -248,6 +262,7 @@ class SweepSpec:
                         config=config,
                         n_entries=self.n_entries,
                         seed=self.job_seed(workload, defense.label),
+                        engine=self.engine,
                     ))
         return jobs
 

@@ -1,4 +1,4 @@
-"""Simulation façade: event engine, defense factories, experiment runners."""
+"""Simulation façade: pluggable engines, defense factories, experiment runners."""
 
 from repro.sim.bandwidth import (
     BandwidthResult,
@@ -7,6 +7,14 @@ from repro.sim.bandwidth import (
     run_bandwidth_attack,
 )
 from repro.engine import EventQueue
+from repro.sim.engines import (
+    DEFAULT_ENGINE,
+    EngineSpec,
+    SimEngine,
+    register_engine,
+    registered_engines,
+    resolve_engine,
+)
 from repro.sim.factory import (
     baseline_factory,
     factory_for_variant,
@@ -29,7 +37,13 @@ __all__ = [
     "analytical_bandwidth_reduction",
     "bandwidth_reduction",
     "run_bandwidth_attack",
+    "DEFAULT_ENGINE",
+    "EngineSpec",
     "EventQueue",
+    "SimEngine",
+    "register_engine",
+    "registered_engines",
+    "resolve_engine",
     "baseline_factory",
     "factory_for_variant",
     "moat_factory",

@@ -13,9 +13,13 @@ string / :class:`~repro.params.MitigationVariant` shorthand), resolved
 against the defense registry; results carry the resolved spec's label, so
 distinct defenses are never conflated in tables or cache rows.
 
-Every run builds four homogeneous copies of the named workload (the
-paper's methodology) with per-core seeds, executes them to completion on
-the event-driven memory system, and reports a
+Execution is equally pluggable: ``engine=`` selects a registered
+:class:`~repro.sim.engines.SimEngine` by
+:class:`~repro.sim.engines.EngineSpec` (``"event"`` — the byte-identical
+reference — by default; ``"epoch"`` or ``"epoch:trefi_chunk=4"`` for the
+batched tier).  Every run builds four homogeneous copies of the named
+workload (the paper's methodology) with per-core seeds, executes them to
+completion on the selected engine, and reports a
 :class:`~repro.cpu.system.SystemResult`.
 """
 
@@ -28,9 +32,10 @@ from repro.cpu.system import MulticoreSystem, SystemResult
 from repro.defenses import DefenseSpec, resolve_defense
 from repro.errors import ConfigError
 from repro.params import MitigationVariant, SystemConfig, default_config
+from repro.sim.engines import EngineSpec, build_event_system, resolve_engine
 from repro.sim.factory import qprac_factory
 from repro.workloads.suites import workload as lookup_workload
-from repro.workloads.synthetic import WorkloadSpec, generate_trace
+from repro.workloads.synthetic import WorkloadSpec
 
 #: Trace length (memory accesses per core) used when none is requested.
 #: Long enough to span dozens of tREFI intervals at memory-intensive rates.
@@ -59,15 +64,16 @@ def build_system(
     n_entries: int = DEFAULT_ENTRIES,
     seed: int = 0,
 ) -> MulticoreSystem:
-    """Construct (but do not run) a four-copy homogeneous system."""
+    """Construct (but do not run) a four-copy homogeneous event system.
+
+    This is inherently an ``event``-engine helper — the handle it
+    returns *is* the event-driven system; batched engines have no
+    equivalent object.  Kept public for the bench harness and tests.
+    """
     config = config or default_config()
     spec = _resolve_spec(workload)
-    traces = [
-        generate_trace(spec, n_entries, config.org, seed=seed * 1000 + core)
-        for core in range(config.cpu.cores)
-    ]
     factory = defense_factory or qprac_factory()
-    return MulticoreSystem(config, traces, factory, workload_name=spec.name)
+    return build_event_system(spec, config, factory, n_entries, seed)
 
 
 def simulate_workload(
@@ -78,6 +84,7 @@ def simulate_workload(
     defense_factory: DefenseFactory | None = None,
     n_entries: int = DEFAULT_ENTRIES,
     seed: int = 0,
+    engine: EngineSpec | str | None = None,
 ) -> SystemResult:
     """Simulate one workload under one defense configuration.
 
@@ -85,9 +92,13 @@ def simulate_workload(
     :class:`~repro.defenses.DefenseSpec`, a ``"name:key=value"`` string,
     or a :class:`MitigationVariant` (shim for the QPRAC policies).
     ``variant`` remains as a QPRAC-only alias, and ``defense_factory``
-    accepts a raw per-bank factory for unregistered engines; results from
+    accepts a raw per-bank factory for unregistered designs; results from
     registry-built factories are still labeled with their spec's name
     (``"custom"`` only when the factory is truly anonymous).
+
+    ``engine`` selects the simulation engine by
+    :class:`~repro.sim.engines.EngineSpec` (or its string form); ``None``
+    runs the byte-identical ``event`` reference.
     """
     config = config or default_config()
     selectors = (defense, variant, defense_factory)
@@ -106,14 +117,7 @@ def simulate_workload(
     if spec is not None and spec.variant is not None:
         config = config.with_variant(spec.variant)
     factory = defense_factory if defense_factory is not None else (
-        spec.factory() if spec is not None else None
-    )
-    system = build_system(
-        workload,
-        config,
-        defense_factory=factory,
-        n_entries=n_entries,
-        seed=seed,
+        spec.factory() if spec is not None else qprac_factory()
     )
     if spec is not None:
         name = spec.label
@@ -121,7 +125,15 @@ def simulate_workload(
         name = "custom"
     else:
         name = None  # default QPRAC factory: label by config.variant
-    return system.run(variant_name=name)
+    sim = resolve_engine(engine).build()
+    return sim.simulate(
+        _resolve_spec(workload),
+        config,
+        factory,
+        n_entries=n_entries,
+        seed=seed,
+        variant_name=name,
+    )
 
 
 def simulate_baseline(
@@ -129,6 +141,7 @@ def simulate_baseline(
     config: SystemConfig | None = None,
     n_entries: int = DEFAULT_ENTRIES,
     seed: int = 0,
+    engine: EngineSpec | str | None = None,
 ) -> SystemResult:
     """The paper's non-secure baseline (PRAC timings, no ABO)."""
     return simulate_workload(
@@ -137,6 +150,7 @@ def simulate_baseline(
         defense="baseline",
         n_entries=n_entries,
         seed=seed,
+        engine=engine,
     )
 
 
@@ -182,6 +196,7 @@ def run_variant_comparison(
     store=None,
     backend: str = "auto",
     hosts=None,
+    engine: EngineSpec | str | None = None,
 ) -> VariantComparison:
     """Figure 14/15 style sweep: defenses over a workload list.
 
@@ -191,7 +206,8 @@ def run_variant_comparison(
     over worker processes, and passing a
     :class:`~repro.exp.cache.ResultStore` as ``store`` reuses (and
     persists) results across invocations.  Output is identical at every
-    ``jobs`` value.
+    ``jobs`` value.  ``engine`` selects the simulation engine for every
+    job in the grid (cache rows from different engines never mix).
     """
     # Imported here: repro.exp builds on this module's simulate_* calls.
     from repro.exp import SweepSpec, run_sweep
@@ -203,6 +219,7 @@ def run_variant_comparison(
         include_baseline=True,
         n_entries=n_entries,
         seed=seed,
+        engine=resolve_engine(engine),
     )
     return run_sweep(spec, jobs=jobs, store=store, backend=backend,
                      hosts=hosts).comparison()

@@ -1,0 +1,536 @@
+"""Simulation-engine tier tests.
+
+Four layers of guarantees:
+
+* **EngineSpec identity** — string/dict round-trips, sorted-param
+  canonicalization, fail-fast validation against the registry, and
+  registry-independent cache keys (an ``event`` job and an ``epoch`` job
+  can never collide in the result store).
+* **Reference integrity** — ``engine="event"`` is byte-identical to the
+  default path (the golden hashes in ``test_determinism_golden.py``
+  remain the source of truth for the event engine itself).
+* **Epoch determinism** — two epoch runs are byte-identical, pinned
+  digests under the golden environment, including a ``trefi_chunk``
+  operating point.
+* **Statistical equivalence** — the event-vs-epoch differential matrix:
+  seeded random workloads × every registered defense must agree on mean
+  slowdown % and alerts/tREFI within the stated tolerance
+  (:func:`slowdown_within_tolerance` / :func:`alerts_within_tolerance`,
+  the contract quoted in the README).  A registry-completeness guard
+  fails loudly when an engine is registered without a golden digest or
+  without appearing in the differential matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+from repro.defenses import registered_defenses
+from repro.errors import ConfigError, ReproError
+from repro.exp import SweepSpec
+from repro.exp.serialize import canonical_json, result_to_dict
+from repro.sim import simulate_workload
+from repro.sim.engines import (
+    DEFAULT_ENGINE_SPEC,
+    EngineSpec,
+    registered_engines,
+    resolve_engine,
+)
+from repro.workloads.synthetic import WorkloadSpec
+
+from test_determinism_golden import needs_golden_env
+
+
+def result_digest(result) -> str:
+    return hashlib.sha256(
+        canonical_json(result_to_dict(result)).encode()
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# EngineSpec identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("text,name,params", [
+    ("event", "event", {}),
+    ("epoch", "epoch", {}),
+    ("epoch:trefi_chunk=4", "epoch", {"trefi_chunk": 4}),
+    ("  epoch : trefi_chunk=2 ", "epoch", {"trefi_chunk": 2}),
+])
+def test_engine_spec_from_string(text, name, params):
+    spec = EngineSpec.from_string(text)
+    assert spec.name == name
+    assert spec.params_dict == params
+
+
+@pytest.mark.parametrize("spec", [
+    EngineSpec("event"),
+    EngineSpec.of("epoch", trefi_chunk=4),
+])
+def test_engine_spec_roundtrips(spec):
+    assert EngineSpec.from_string(spec.to_string()) == spec
+    assert EngineSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_engine_spec_params_sorted_identity():
+    # Construction order can't perturb equality, hashing or labels.
+    a = EngineSpec(name="x", params=(("b", 1), ("a", 2)))
+    b = EngineSpec(name="x", params=(("a", 2), ("b", 1)))
+    assert a == b and hash(a) == hash(b) and a.label == b.label
+
+
+def test_engine_spec_rejects_empty_name():
+    with pytest.raises(ConfigError):
+        EngineSpec("")
+    with pytest.raises(ConfigError):
+        EngineSpec.from_string(":k=v")
+
+
+def test_resolve_engine_defaults_and_errors():
+    assert resolve_engine(None) == DEFAULT_ENGINE_SPEC
+    assert resolve_engine("event") == EngineSpec("event")
+    assert resolve_engine(EngineSpec("epoch")).name == "epoch"
+    with pytest.raises(ReproError):
+        resolve_engine("no-such-engine")
+    with pytest.raises(ReproError):
+        resolve_engine("epoch:bogus_param=1")
+    with pytest.raises(ReproError):
+        resolve_engine("epoch:trefi_chunk=maybe")  # type-checked
+    with pytest.raises(ConfigError):
+        resolve_engine(42)  # type: ignore[arg-type]
+
+
+def test_builtin_registry_listing():
+    names = [entry.name for entry in registered_engines()]
+    assert "event" in names and "epoch" in names
+    epoch = next(e for e in registered_engines() if e.name == "epoch")
+    assert [p.name for p in epoch.params] == ["trefi_chunk"]
+    assert epoch.params[0].default == 1
+
+
+def test_epoch_rejects_bad_chunk():
+    with pytest.raises(ConfigError):
+        EngineSpec.of("epoch", trefi_chunk=0).build()
+
+
+# ----------------------------------------------------------------------
+# Cache-key separation and sweep threading
+# ----------------------------------------------------------------------
+def _sweep(engine):
+    return SweepSpec.build(
+        ["429.mcf"], ["qprac"], n_entries=500, engine=engine,
+    )
+
+
+def test_cache_keys_differ_by_engine():
+    event_jobs = _sweep("event").expand()
+    epoch_jobs = _sweep("epoch").expand()
+    chunked_jobs = _sweep("epoch:trefi_chunk=4").expand()
+    assert [j.label for j in event_jobs] == [j.label for j in epoch_jobs]
+    for a, b, c in zip(event_jobs, epoch_jobs, chunked_jobs):
+        assert len({a.cache_key(), b.cache_key(), c.cache_key()}) == 3
+
+
+def test_sweepspec_normalizes_engine_strings():
+    spec = _sweep("epoch:trefi_chunk=4")
+    assert isinstance(spec.engine, EngineSpec)
+    assert spec.engine.label == "epoch:trefi_chunk=4"
+    assert all(job.engine == spec.engine for job in spec.expand())
+    with pytest.raises(ReproError):
+        _sweep("not-an-engine")
+
+
+def test_sweep_runs_on_epoch_engine(tmp_path):
+    from repro.exp import ResultStore, run_sweep
+
+    store = ResultStore(tmp_path)
+    sweep = run_sweep(_sweep("epoch"), store=store)
+    assert sweep.executed == sweep.total_jobs
+    replay = run_sweep(_sweep("epoch"), store=store)
+    assert replay.cache_hits == replay.total_jobs
+    for a, b in zip(sweep.outcomes, replay.outcomes):
+        assert result_digest(a.result) == result_digest(b.result)
+    # An event sweep over the same grid misses the epoch cache entirely.
+    event_sweep = run_sweep(_sweep("event"), store=store)
+    assert event_sweep.cache_hits == 0
+
+
+# ----------------------------------------------------------------------
+# Reference integrity + epoch determinism
+# ----------------------------------------------------------------------
+def test_event_engine_is_the_default_path():
+    default = simulate_workload("429.mcf", defense="qprac", n_entries=1200)
+    explicit = simulate_workload(
+        "429.mcf", defense="qprac", n_entries=1200, engine="event"
+    )
+    assert result_digest(default) == result_digest(explicit)
+
+
+def test_epoch_deterministic_across_runs():
+    first = simulate_workload(
+        "429.mcf", defense="qprac", n_entries=1500, engine="epoch"
+    )
+    second = simulate_workload(
+        "429.mcf", defense="qprac", n_entries=1500, engine="epoch"
+    )
+    assert result_digest(first) == result_digest(second)
+
+
+#: Pinned digests per engine (golden environment): the epoch engine's
+#: own golden table, next to the event engine's in
+#: ``test_determinism_golden.py``.  (workload, defense, n_entries, seed)
+#: -> sha256 of the result's canonical JSON.
+GOLDEN_ENGINE_HASHES: dict[str, dict] = {
+    # The event engine's digests are pinned (byte-identical to the
+    # pre-engine-tier simulator) by GOLDEN_HASHES/GOLDEN_DEFENSE_HASHES
+    # in test_determinism_golden.py; this entry records that fact for
+    # the registry-completeness guard.
+    "event": None,
+    "epoch": {
+        ("429.mcf", "qprac", 2000, 0):
+            "19ddbea572a9eb27101f7d588c743f6298d7fb3e796d91492c0fd7046eb00de4",
+        ("429.mcf", "baseline", 2000, 0):
+            "4a40a51d41fa586d189cd1d24af3d1ac08530604808ea05d986acf357bec946d",
+        ("ycsb-a", "moat", 2000, 0):
+            "c625f6d50e2ac1a8d7aa9bbcbf8a7f8f733d842edc4db4a8eec24b0a105253c1",
+        ("470.lbm", "qprac+proactive", 2000, 0):
+            "3784983b5ccc97776d90e5b2f8e1502663322bd7eee7645dd217157336f78ee6",
+    },
+    "epoch:trefi_chunk=4": {
+        ("429.mcf", "qprac", 2000, 0):
+            "5d4c94a03d80d156de31fa608611ac6b36d1920f35cbb652e51b241a8200fb75",
+    },
+}
+
+
+@needs_golden_env
+@pytest.mark.parametrize("engine,cell", [
+    (engine, cell)
+    for engine, cells in GOLDEN_ENGINE_HASHES.items()
+    if cells
+    for cell in sorted(cells)
+], ids=lambda v: str(v))
+def test_epoch_matches_pinned_digest(engine, cell):
+    workload, defense, n_entries, seed = cell
+    result = simulate_workload(
+        workload, defense=defense, n_entries=n_entries, seed=seed,
+        engine=engine,
+    )
+    assert result_digest(result) == GOLDEN_ENGINE_HASHES[engine][cell]
+
+
+def test_every_registered_engine_has_golden_coverage():
+    """Registry-completeness guard: registering an engine without a
+    pinned digest (and without a differential-matrix entry, below)
+    fails loudly."""
+    registered = {entry.name for entry in registered_engines()}
+    pinned = {name.split(":")[0] for name in GOLDEN_ENGINE_HASHES}
+    assert registered == pinned
+    assert registered == set(DIFFERENTIAL_ENGINES)
+
+
+# ----------------------------------------------------------------------
+# Differential matrix: event vs epoch across all registered defenses
+# ----------------------------------------------------------------------
+#: Engines the differential matrix covers (the reference plus every
+#: approximate engine judged against it).
+DIFFERENTIAL_ENGINES = ("event", "epoch")
+
+#: Entries per core for the matrix (small enough to keep the matrix
+#: seconds-cheap, large enough for alerts to fire).
+MATRIX_ENTRIES = 2000
+
+
+def slowdown_within_tolerance(event_pct: float, epoch_pct: float) -> bool:
+    """The stated slowdown-agreement contract between the engines.
+
+    Two regimes: small slowdowns must agree within 2.5 percentage
+    points absolute; large ones (the cadence defenses at aggressive
+    T_RH, where the epoch engine is documented to over-estimate bank
+    blackout cost) must agree within a factor of [0.25, 3.5] — the
+    ordering and magnitude class survive, individual points do not.
+    """
+    if abs(event_pct) < 2.0 or abs(epoch_pct) < 2.0:
+        return abs(event_pct - epoch_pct) <= 2.5
+    return 0.25 <= epoch_pct / event_pct <= 3.5
+
+
+def alerts_within_tolerance(event_at: float, epoch_at: float) -> bool:
+    """Alerts/tREFI agreement: within 0.3 absolute, or 50% relative
+    once rates are large (the epoch engine's shorter approximate clock
+    inflates the denominator)."""
+    return abs(event_at - epoch_at) <= max(0.3, 0.5 * max(event_at,
+                                                          epoch_at))
+
+
+def _random_workload(index: int) -> WorkloadSpec:
+    """Seeded random workload for the differential matrix."""
+    rng = random.Random(1000 + index)
+    return WorkloadSpec(
+        name=f"differential-{index}",
+        suite="differential",
+        acts_pki=round(rng.uniform(0.5, 24.0), 2),
+        row_burst=round(rng.uniform(1.0, 5.0), 2),
+        footprint_mb=rng.choice([16, 64, 128, 256]),
+        zipf_alpha=round(rng.uniform(0.0, 1.3), 2),
+        write_fraction=round(rng.uniform(0.0, 0.5), 2),
+    )
+
+
+def _matrix_defenses() -> list[str]:
+    """Every registered defense, parameterized ones at the operating
+    point the figure benchmarks use — registry-complete by
+    construction."""
+    designators = []
+    for entry in registered_defenses():
+        if entry.name == "baseline":
+            continue
+        if entry.name in ("pride", "mithril"):
+            designators.append(f"{entry.name}:t_rh=256")
+        else:
+            designators.append(entry.name)
+    return designators
+
+
+_BASELINES: dict = {}
+
+
+def _baseline(workload, engine):
+    key = (workload.name, engine)
+    if key not in _BASELINES:
+        _BASELINES[key] = simulate_workload(
+            workload, defense="baseline", n_entries=MATRIX_ENTRIES,
+            seed=0, engine=engine,
+        )
+    return _BASELINES[key]
+
+
+@pytest.mark.parametrize("defense", _matrix_defenses())
+def test_differential_matrix_event_vs_epoch(defense):
+    """Seeded random workloads × every registered defense: the epoch
+    engine must agree with the event reference on slowdown % and
+    alerts/tREFI within the stated tolerance."""
+    index = _matrix_defenses().index(defense)
+    workload = _random_workload(index % 4)
+    results = {}
+    for engine in DIFFERENTIAL_ENGINES:
+        run = simulate_workload(
+            workload, defense=defense, n_entries=MATRIX_ENTRIES,
+            seed=0, engine=engine,
+        )
+        results[engine] = (
+            run.slowdown_pct_vs(_baseline(workload, engine)),
+            run.alerts_per_trefi,
+        )
+    event_slow, event_at = results["event"]
+    epoch_slow, epoch_at = results["epoch"]
+    assert slowdown_within_tolerance(event_slow, epoch_slow), (
+        f"{defense} on {workload.name}: slowdown {event_slow:.2f}% "
+        f"(event) vs {epoch_slow:.2f}% (epoch)"
+    )
+    assert alerts_within_tolerance(event_at, epoch_at), (
+        f"{defense} on {workload.name}: alerts/tREFI {event_at:.4f} "
+        f"(event) vs {epoch_at:.4f} (epoch)"
+    )
+
+
+def test_differential_headline_cell():
+    """The paper's headline cell (429.mcf × qprac) agrees between
+    engines — fixed coverage on top of the random matrix."""
+    for defense in ("qprac", "qprac-noop"):
+        results = {}
+        for engine in DIFFERENTIAL_ENGINES:
+            baseline = simulate_workload(
+                "429.mcf", defense="baseline", n_entries=MATRIX_ENTRIES,
+                seed=0, engine=engine,
+            )
+            run = simulate_workload(
+                "429.mcf", defense=defense, n_entries=MATRIX_ENTRIES,
+                seed=0, engine=engine,
+            )
+            results[engine] = (
+                run.slowdown_pct_vs(baseline), run.alerts_per_trefi
+            )
+        event_slow, event_at = results["event"]
+        epoch_slow, epoch_at = results["epoch"]
+        assert slowdown_within_tolerance(event_slow, epoch_slow), defense
+        assert alerts_within_tolerance(event_at, epoch_at), defense
+
+
+def test_epoch_llc_filter_matches_canonical_cache():
+    """The LLC loop inlined in the epoch engine's stream preparation
+    must stay decision-identical to SetAssociativeCache.access: drive
+    the canonical cache over the same merged access stream and compare
+    hit counts and the full per-core DRAM request columns (guards the
+    'keep in sync' copy, like the event engine's twin test in
+    test_determinism_golden.py)."""
+    import numpy as np
+
+    from repro.cpu.cache import SetAssociativeCache
+    from repro.dram.address import AddressMapper
+    from repro.params import default_config
+    from repro.sim.engines.epoch import _prepare_stream
+    from repro.workloads.suites import workload as lookup_workload
+    from repro.workloads.synthetic import generate_trace
+
+    import dataclasses
+
+    config = default_config()
+    org = config.org
+    # A deliberately tiny LLC so 2000 entries/core overflow it: the
+    # parity must cover evictions and dirty writebacks, not just the
+    # hit/miss split.
+    cpu = dataclasses.replace(config.cpu, llc_bytes=64 * 1024)
+    workload = lookup_workload("ycsb-a")  # write-heavy: dirty evictions
+    n_entries = 2000
+    stream = _prepare_stream(workload, n_entries, 0, org, cpu)
+
+    # Reference pass: the canonical cache over the identical merged
+    # order (recomputed here exactly as _prepare_stream builds it).
+    traces = [
+        generate_trace(workload, n_entries, org, seed=c)
+        for c in range(cpu.cores)
+    ]
+    fronts = [
+        np.cumsum(t.instruction_needs()) * (cpu.cycle_ns / cpu.issue_width)
+        for t in traces
+    ]
+    all_front = np.concatenate(fronts)
+    all_core = np.concatenate([
+        np.full(len(t), c, dtype=np.int64) for c, t in enumerate(traces)
+    ])
+    all_addr = np.concatenate([t.addresses for t in traces])
+    all_write = np.concatenate([t.is_write for t in traces])
+    order = np.lexsort((all_core, all_front))
+
+    llc = SetAssociativeCache(cpu.llc_bytes, cpu.llc_ways,
+                              org.line_size_bytes)
+    mapper = AddressMapper(org)
+    reference: list[list[tuple]] = [[] for _ in range(cpu.cores)]
+    for c, addr, is_write in zip(
+        all_core[order].tolist(), all_addr[order].tolist(),
+        all_write[order].tolist(),
+    ):
+        hit, writeback = llc.access(addr, is_write)
+        if not hit:
+            ch, _r, _bg, _b, row, _col, flat = mapper.decode_flat(addr)
+            reference[c].append((flat, row, ch, is_write, True))
+            if writeback is not None:
+                ch, _r, _bg, _b, row, _col, flat = \
+                    mapper.decode_flat(writeback)
+                reference[c].append((flat, row, ch, True, False))
+    assert llc.writebacks > 0, "cell must exercise the writeback path"
+    assert stream.llc_hits == llc.hits
+    for c in range(cpu.cores):
+        got = [
+            (bank_i, row, ch, is_write, demand)
+            for (_f, _i, _l, bank_i, row, ch, is_write, demand)
+            in stream.reqs[c]
+        ]
+        assert got == reference[c], f"core {c} request stream diverged"
+
+
+# ----------------------------------------------------------------------
+# Engine metadata downstream: bench cells and the CLI listing
+# ----------------------------------------------------------------------
+def test_bench_records_engine_and_speedup():
+    from repro.bench import BenchReport, run_bench
+
+    report = run_bench(
+        cells=(("429.mcf", "qprac"),), n_entries=400, repeats=1,
+        quick=True, engine="epoch",
+    )
+    assert report.engine == "epoch"
+    assert all(cell.engine == "epoch" for cell in report.cells)
+    assert report.reference_event is not None
+    assert report.reference_event.engine == "event"
+    payload = report.to_dict()
+    assert payload["meta"]["engine"] == "epoch"
+    assert payload["speedup_vs_event"] == report.speedup_vs_event > 0
+    restored = BenchReport.from_dict(payload)
+    assert restored.engine == "epoch"
+    assert restored.reference_event.wall_s == \
+        report.reference_event.wall_s
+
+
+def test_bench_comparison_never_pairs_engines():
+    from repro.bench import BenchReport, CellResult, compare_reports
+
+    def report(engine, wall):
+        return BenchReport(
+            cells=[CellResult(
+                workload="429.mcf", defense="qprac", n_entries=400,
+                wall_s=wall, events=100, events_per_s=100 / wall,
+                sim_time_ns=1.0, repeats=1, engine=engine,
+            )],
+            quick=True, repeats=1, timestamp="t", engine=engine,
+        )
+
+    crossed = compare_reports(report("epoch", 1.0), report("event", 9.0))
+    assert crossed == []
+    same = compare_reports(report("epoch", 1.0), report("epoch", 2.0))
+    assert len(same) == 1 and same[0].speedup == 2.0
+
+
+def test_latest_trajectory_skips_malformed_and_matches_engine(tmp_path):
+    import json
+
+    from repro.bench import (
+        BenchReport, CellResult, latest_trajectory_for_engine,
+        write_report,
+    )
+
+    def report(engine, stamp):
+        return BenchReport(
+            cells=[CellResult(
+                workload="429.mcf", defense="qprac", n_entries=400,
+                wall_s=1.0, events=100, events_per_s=100.0,
+                sim_time_ns=1.0, repeats=1, engine=engine,
+            )],
+            quick=True, repeats=1, timestamp=stamp, engine=engine,
+        )
+
+    event_path = write_report(report("event", "20000101T000000Z"), tmp_path)
+    write_report(report("epoch", "20000102T000000Z"), tmp_path)
+    # Newest overall is epoch; the event lookup must skip past it.
+    assert latest_trajectory_for_engine(tmp_path, "event") == event_path
+    assert latest_trajectory_for_engine(tmp_path, "no-such") is None
+    # A malformed point (non-dict cells) is skipped, not fatal.
+    (tmp_path / "BENCH_20000103T000000Z.json").write_text(
+        json.dumps({"cells": [42], "meta": {"engine": "event"}})
+    )
+    assert latest_trajectory_for_engine(tmp_path, "event") == event_path
+
+
+def test_cli_bench_rejects_cross_engine_baseline(tmp_path, capsys):
+    from repro.bench import BenchReport, CellResult, write_report
+    from repro.cli import main
+
+    baseline = BenchReport(
+        cells=[CellResult(
+            workload="429.mcf", defense="qprac", n_entries=400,
+            wall_s=1.0, events=100, events_per_s=100.0,
+            sim_time_ns=1.0, repeats=1, engine="event",
+        )],
+        quick=True, repeats=1, timestamp="20000101T000000Z",
+        engine="event",
+    )
+    path = write_report(baseline, tmp_path)
+    status = main([
+        "bench", "--quick", "--entries", "400", "--repeats", "1",
+        "--engine", "epoch", "--baseline", str(path), "--no-write",
+        "--quiet",
+    ])
+    assert status == 1
+    err = capsys.readouterr().err
+    assert "recorded under engine" in err
+
+
+def test_cli_engines_listing(capsys):
+    from repro.cli import main
+
+    assert main(["engines"]) == 0
+    out = capsys.readouterr().out
+    assert "event" in out and "epoch" in out and "trefi_chunk" in out
