@@ -49,8 +49,10 @@ from typing import Sequence
 
 from repro.errors import ReproError
 
-#: Trajectory file schema; bump on layout changes.
-BENCH_SCHEMA = 1
+#: Trajectory file schema; bump on layout changes.  Schema 2 added the
+#: per-cell ``latency`` block (request-latency percentiles measured in
+#: an untimed telemetry pass); schema-1 reports still load.
+BENCH_SCHEMA = 2
 
 #: File-name prefix of trajectory points (sorted lexically = sorted by time).
 BENCH_PREFIX = "BENCH_"
@@ -94,6 +96,10 @@ class CellResult:
     sim_time_ns: float
     repeats: int
     engine: str = "event"
+    #: Request-latency summary (p50/p95/p99, histogram, blackouts) from
+    #: a separate *untimed* telemetry pass — the timed repeats always run
+    #: with telemetry off so ``wall_s`` stays gate-comparable.
+    latency: dict | None = None
 
     @property
     def key(self) -> str:
@@ -110,6 +116,7 @@ class CellResult:
             "sim_time_ns": self.sim_time_ns,
             "repeats": self.repeats,
             "engine": self.engine,
+            "latency": self.latency,
         }
 
 
@@ -182,6 +189,7 @@ class BenchReport:
                 sim_time_ns=c["sim_time_ns"],
                 repeats=c.get("repeats", 1),
                 engine=c.get("engine", "event"),
+                latency=c.get("latency"),  # absent in schema-1 reports
             )
 
         ref_event = payload.get("reference_event")
@@ -208,14 +216,17 @@ def host_fingerprint() -> dict:
 
 def _measure_cell(
     workload: str, defense: str, n_entries: int, seed: int = 0,
-    engine: str = "event",
-) -> tuple[float, int, float]:
-    """Run one cell end to end; returns (wall_s, work_units, sim_time_ns).
+    engine: str = "event", telemetry=None,
+) -> tuple[float, int, float, dict | None]:
+    """Run one cell end to end.
 
+    Returns ``(wall_s, work_units, sim_time_ns, latency_summary)``.
     Mirrors :func:`repro.sim.runner.simulate_workload` — defense and
     engine resolution, trace generation, construction and the simulation
     itself are all inside the timed window — but drives the engine
-    directly so its work-unit counter is observable.
+    directly so its work-unit counter is observable.  ``telemetry`` is
+    only forwarded when enabled, so the timed path never pays for the
+    seam.
     """
     from repro.defenses import resolve_defense
     from repro.params import default_config
@@ -228,6 +239,9 @@ def _measure_cell(
     if spec.variant is not None:
         config = config.with_variant(spec.variant)
     sim = resolve_engine(engine).build()
+    kwargs = {}
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        kwargs["telemetry"] = telemetry
     result = sim.simulate(
         lookup_workload(workload),
         config,
@@ -235,9 +249,10 @@ def _measure_cell(
         n_entries=n_entries,
         seed=seed,
         variant_name=spec.label,
+        **kwargs,
     )
     wall = time.perf_counter() - started
-    return wall, sim.work_units, result.sim_time_ns
+    return wall, sim.work_units, result.sim_time_ns, result.latency
 
 
 def _measure_cell_task(task: dict) -> dict:
@@ -255,7 +270,7 @@ def _measure_cell_task(task: dict) -> dict:
     sim_time = 0.0
     engine = task.get("engine", "event")
     for _ in range(task["repeats"]):
-        wall, run_events, run_sim_time = _measure_cell(
+        wall, run_events, run_sim_time, _ = _measure_cell(
             task["workload"], task["defense"], task["n_entries"],
             engine=engine,
         )
@@ -263,6 +278,17 @@ def _measure_cell_task(task: dict) -> dict:
             best_wall = wall
         events = run_events
         sim_time = run_sim_time
+    latency = None
+    if task.get("telemetry"):
+        # Separate untimed pass with the recorder on: the timed repeats
+        # above stay telemetry-free so wall_s remains gate-comparable
+        # across telemetry settings (and proves the seam costs nothing).
+        from repro.obs import Telemetry
+
+        _, _, _, latency = _measure_cell(
+            task["workload"], task["defense"], task["n_entries"],
+            engine=engine, telemetry=Telemetry(),
+        )
     return {
         "workload": task["workload"],
         "defense": task["defense"],
@@ -273,6 +299,7 @@ def _measure_cell_task(task: dict) -> dict:
         "sim_time_ns": sim_time,
         "repeats": task["repeats"],
         "engine": engine,
+        "latency": latency,
     }
 
 
@@ -286,6 +313,7 @@ def run_bench(
     workers: int = 1,
     hosts: Sequence[str] | None = None,
     engine: str = "event",
+    telemetry: bool = True,
 ) -> BenchReport:
     """Measure every cell ``repeats`` times; keep each cell's best time.
 
@@ -296,7 +324,9 @@ def run_bench(
     simulation engine for every cell; when it is not the ``event``
     reference, the reference cell is additionally measured under
     ``event`` so the trajectory point records an honest same-host
-    ``speedup_vs_event``.
+    ``speedup_vs_event``.  ``telemetry`` adds one *untimed* recorded
+    pass per cell for the latency percentiles; the timed repeats are
+    always telemetry-free.
     """
     if repeats < 1:
         raise ReproError(f"repeats must be >= 1, got {repeats}")
@@ -310,6 +340,7 @@ def run_bench(
             "n_entries": n_entries,
             "repeats": repeats,
             "engine": engine_label,
+            "telemetry": telemetry,
         })
         for index, (workload, defense) in enumerate(cells)
     ]
@@ -318,10 +349,16 @@ def run_bench(
     def finish(index: int, payload: dict) -> None:
         payloads[index] = payload
         if progress is not None:
+            latency = payload.get("latency") or {}
+            tail = (
+                f", p50 {latency['p50_ns']:.0f}ns"
+                f" p99 {latency['p99_ns']:.0f}ns"
+                if latency.get("count") else ""
+            )
             progress(
                 f"{payload['workload']}/{payload['defense']}: "
                 f"{payload['wall_s']:.3f}s "
-                f"({payload['events_per_s']:,.0f} events/s)"
+                f"({payload['events_per_s']:,.0f} events/s){tail}"
             )
 
     from repro.exp.backend import resolve_backend

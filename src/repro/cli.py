@@ -10,9 +10,11 @@ Usage::
     python -m repro backends          # list the registered sweep backends
     python -m repro engines           # list the registered sim engines
     python -m repro worker ...        # execute a serialized job batch
-    python -m repro cache info        # result-cache entry counts
+    python -m repro cache info        # result-cache health metrics
     python -m repro cache gc          # compact the result cache
     python -m repro bench             # simulator throughput benchmark
+    python -m repro stats             # summarize a sweep trace
+    python -m repro trace             # dump per-request latency samples
     python -m repro bandwidth         # Figure 19: performance attacks
     python -m repro storage           # Table IV: tracker SRAM
     python -m repro workloads         # list the 57-workload suite
@@ -131,7 +133,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     store = None if args.no_cache else ResultStore(args.cache_dir)
     progress = None if args.quiet else stderr_progress
     sweep = run_sweep(spec, jobs=args.jobs, store=store, progress=progress,
-                      backend=args.backend, hosts=args.hosts)
+                      backend=args.backend, hosts=args.hosts,
+                      telemetry=args.trace)
     comparison = sweep.comparison()
     print(render_table(
         f"Orchestrated sweep (N_BO={args.nbo_value}, PRAC-{args.n_mit}, "
@@ -152,6 +155,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{sweep.cache_hits} from cache ({cache_note}); "
         f"total {sweep.elapsed_s:.2f}s"
     )
+    if sweep.trace_path is not None:
+        print(f"sweep trace {sweep.trace_path}")
     if args.print_digest:
         print(f"aggregate sha256: {_sweep_digest(sweep)}")
     return 0
@@ -244,17 +249,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"({reclaimed} bytes reclaimed)"
         )
         return 0
-    info = store.info()
+    # Health comes from the same metrics block SweepMetrics embeds, so
+    # `cache info` and `repro stats` can never disagree on a number.
+    from repro.obs.stats import _store_rows
+
+    health = store.health()
     print(render_table(
-        f"Result cache {info.path}",
+        f"Result cache {health['path']}",
         ["metric", "value"],
-        [
-            ["live entries", info.live_keys],
-            ["dead records", info.dead_records],
-            ["stale entries", info.stale_records],
-            ["damaged lines", info.damaged_lines],
-            ["size (bytes)", info.size_bytes],
-        ],
+        _store_rows(health),
     ))
     return 0
 
@@ -288,11 +291,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=args.jobs,
         hosts=args.hosts,
         engine=args.engine,
+        telemetry=not args.no_telemetry,
     )
+    from repro.obs.stats import format_ns
+
     rows = [
         [
             c.workload, c.defense, c.n_entries, round(c.wall_s, 3),
             c.events, f"{c.events_per_s:,.0f}",
+            format_ns((c.latency or {}).get("p50_ns")),
+            format_ns((c.latency or {}).get("p99_ns")),
         ]
         for c in report.cells
     ]
@@ -300,7 +308,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"Simulator benchmark ({entries} accesses/core, "
         f"best of {repeats}, engine={report.engine})",
         ["workload", "defense", "entries", "wall s", "work units",
-         "units/s"],
+         "units/s", "p50", "p99"],
         rows,
     ))
     if report.reference_event is not None:
@@ -386,6 +394,42 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def stderr_progress_line(line: str) -> None:
     print(line, file=sys.stderr)
+
+
+def _resolve_trace(args) -> "tuple[object, object] | None":
+    """Shared stats/trace front half: selector -> (path, parsed trace)."""
+    from repro.exp import ResultStore
+    from repro.obs import read_trace, resolve_trace_path
+
+    store = ResultStore(args.cache_dir)
+    try:
+        path = resolve_trace_path(store.directory, args.selector)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    return path, read_trace(path)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.stats import render_stats
+
+    resolved = _resolve_trace(args)
+    if resolved is None:
+        return 1
+    path, trace = resolved
+    print(render_stats(trace, path))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.stats import render_trace
+
+    resolved = _resolve_trace(args)
+    if resolved is None:
+        return 1
+    path, trace = resolved
+    print(render_trace(trace, job=args.job, limit=args.limit, path=path))
+    return 0
 
 
 def _cmd_bandwidth(args: argparse.Namespace) -> int:
@@ -501,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--print-digest", action="store_true",
                    help="print the sha256 of the aggregate payloads "
                    "(backend-equivalence checks)")
+    p.add_argument("--trace", action="store_true",
+                   help="record per-request latency telemetry in every "
+                   "executed job (results stay byte-identical); read it "
+                   "back with `repro stats` / `repro trace`")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress on stderr")
     p.set_defaults(func=_cmd_sweep)
@@ -593,9 +641,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulation engine for every cell (see `repro "
                    "engines`); non-event runs also measure the event "
                    "reference cell and record speedup_vs_event")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="skip the untimed latency pass per cell (the "
+                   "timed repeats never record telemetry either way)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-cell progress on stderr")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "stats",
+        help="summarize a sweep trace (metrics, store health, latency)",
+        description="Read a JSONL sweep trace written next to the result "
+        "cache and print the sweep's operational metrics, store health, "
+        "and per-job request-latency percentiles.",
+    )
+    p.add_argument("selector", nargs="?", default=None,
+                   help="trace file path, sweep-id prefix, or 'latest' "
+                   "(default: the most recent trace)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                   "$REPRO_CACHE_DIR or ~/.cache/qprac-repro)")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "trace",
+        help="dump per-request latency samples from a sweep trace",
+        description="Print the capped per-request samples (arrival, "
+        "latency, op, core) recorded for each job of a telemetry-enabled "
+        "sweep (`repro sweep --trace`).",
+    )
+    p.add_argument("selector", nargs="?", default=None,
+                   help="trace file path, sweep-id prefix, or 'latest' "
+                   "(default: the most recent trace)")
+    p.add_argument("--job", default=None,
+                   help="only jobs whose label contains this substring")
+    p.add_argument("--limit", type=int, default=20,
+                   help="samples shown per job (default 20)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                   "$REPRO_CACHE_DIR or ~/.cache/qprac-repro)")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("bandwidth", help="performance attack (Fig 19)")
     p.set_defaults(func=_cmd_bandwidth)

@@ -39,6 +39,7 @@ from typing import Callable
 
 from repro.controller.request import Request
 from repro.core.defense import BankDefense, MitigationReason
+from repro.obs.telemetry import active_telemetry
 from repro.dram.address import AddressMapper
 from repro.dram.bank import BankState
 from repro.errors import ConfigError
@@ -156,12 +157,16 @@ class MemorySystem:
         events: EventQueue,
         defense_factory: DefenseFactory,
         enable_refresh: bool = True,
+        telemetry=None,
     ) -> None:
         self.cfg = config
         self.events = events
         self.timing = config.timing
         self.mapper = AddressMapper(config.org)
         self.enable_refresh = enable_refresh
+        #: Normalized once: ``None`` unless an *enabled* telemetry was
+        #: passed, so every hook site tests a plain ``is not None``.
+        self.telemetry = active_telemetry(telemetry)
         self.stats = MemStats()
         org = config.org
         # REF-window constants, read by _rank_avail on every timing
@@ -229,7 +234,9 @@ class MemorySystem:
             org.ranks,
             self.banks,
         )
-        # Service-path constants for _consider_bank, same trick.
+        # Service-path constants for _consider_bank, same trick.  The
+        # telemetry slot is a bound method or None — telemetry off costs
+        # the hot path one tuple slot and one None test per request.
         self._service_hot = (
             t.t_rp,
             t.t_rc,
@@ -243,6 +250,7 @@ class MemorySystem:
             self.bus_free,
             self.stats,
             self.events,
+            self.telemetry.record_request if self.telemetry else None,
         )
         if enable_refresh:
             for rank_state in self.ranks:
@@ -372,7 +380,7 @@ class MemorySystem:
 
         (
             t_rp, t_rc, t_ras, t_rcd, t_rrd, t_cl, t_burst, t_wr, t_rtp,
-            bus_free, stats, events,
+            bus_free, stats, events, tm_record,
         ) = self._service_hot
         rank = bank.rank_state
         start = now
@@ -455,6 +463,8 @@ class MemorySystem:
             if wants_alert:
                 self._maybe_alert(bank, rank, act_time)
         req.complete_time = done
+        if tm_record is not None:
+            tm_record(req.arrive, done, req.is_write, req.core_id)
         callback = req.callback
         if callback is not None:
             # events.schedule_future, inlined; done > now always.
@@ -538,6 +548,8 @@ class MemorySystem:
         bank.open_row = None
         bank.defense.on_rfm(is_alerting_bank=True)
         self.stats.cadence_rfms += 1
+        if self.telemetry is not None:
+            self.telemetry.record_blackout(start, bank.blocked_until, "cadence")
 
     def _maybe_alert(
         self, bank: BankState, rank: RankState, act_time: float
@@ -560,6 +572,8 @@ class MemorySystem:
                 member.defense.on_rfm(is_alerting_bank=member is bank)
         rank.rfm_commands += prac.n_mit
         self.stats.rfm_commands += prac.n_mit
+        if self.telemetry is not None:
+            self.telemetry.record_blackout(rfm_start, rfm_end, "abo")
         if prac.rfm_scope is RfmScope.ALL_BANK:
             rank.blackouts.append((rfm_start, rfm_end))
             rank.blocked_ns += rfm_end - rfm_start
@@ -587,4 +601,11 @@ class MemorySystem:
         self.stats.refs += 1
         for bank in rank.banks:
             bank.defense.on_ref()
+        if self.telemetry is not None:
+            # Sample PSQ occupancy *after* the defenses' on_ref drain,
+            # matching the epoch engine's observation point.
+            self.telemetry.record_ref(
+                now, now + self._t_rfc,
+                (bank.defense for bank in rank.banks),
+            )
         self.events.schedule_future(now + self.timing.t_refi, rank.ref_handler)

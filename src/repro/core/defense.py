@@ -156,3 +156,17 @@ class BankDefense(ABC):
         """For cadence-based defenses (PrIDE/Mithril): controller must issue
         one RFM per this many activations.  ``None`` = alert-driven only."""
         return None
+
+    @property
+    def psq_occupancy(self) -> int | None:
+        """Current depth of this defense's Priority Service Queue.
+
+        The telemetry seam (:mod:`repro.obs`) samples this at every REF
+        tick to track PSQ high-water marks.  Defaults to the ``psq``
+        attribute's length when the defense keeps one (the QPRAC
+        family); queue-less designs report ``None``, which the sampler
+        ignores.  Observation only — reading it must never mutate
+        defense state.
+        """
+        psq = getattr(self, "psq", None)
+        return len(psq) if psq is not None else None

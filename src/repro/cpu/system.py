@@ -43,6 +43,10 @@ class SystemResult:
     llc_hit_rate: float
     avg_read_latency_ns: float
     mitigations: dict[MitigationReason, int] = field(default_factory=dict)
+    #: Telemetry summary (percentiles, histogram, blackouts) when the run
+    #: was observed; ``None`` otherwise.  Excluded from the canonical
+    #: serialization — digests are identical with telemetry on or off.
+    latency: dict | None = None
 
     @property
     def ipc_sum(self) -> float:
@@ -120,6 +124,7 @@ class MulticoreSystem:
         traces: list[Trace],
         defense_factory: DefenseFactory,
         workload_name: str = "workload",
+        telemetry=None,
     ) -> None:
         if not traces:
             raise ConfigError("at least one trace is required")
@@ -130,7 +135,9 @@ class MulticoreSystem:
         self.cfg = config
         self.workload_name = workload_name
         self.events = EventQueue()
-        self.memory = MemorySystem(config, self.events, defense_factory)
+        self.memory = MemorySystem(
+            config, self.events, defense_factory, telemetry=telemetry
+        )
         self.llc = SetAssociativeCache(
             config.cpu.llc_bytes,
             config.cpu.llc_ways,

@@ -92,6 +92,12 @@ class SweepBackend:
     #: Registry name (set by :func:`register_backend`).
     name: str = "?"
 
+    #: Operational counters of the most recent :meth:`execute` call
+    #: (JSON-able; shape is backend-specific).  Each execute() replaces
+    #: the whole dict on the instance, so this class-level empty dict is
+    #: only the never-executed fallback and is never mutated.
+    metrics: dict = {}
+
     def execute(
         self, tasks: Sequence[Task], run_one: RunOneFn, emit: EmitFn
     ) -> None:
@@ -173,8 +179,14 @@ class SerialBackend(SweepBackend):
     def execute(
         self, tasks: Sequence[Task], run_one: RunOneFn, emit: EmitFn
     ) -> None:
+        started = time.perf_counter()
         for index, obj in tasks:
             emit(index, run_one(obj))
+        self.metrics = {
+            "workers": 1,
+            "tasks": len(tasks),
+            "wall_s": time.perf_counter() - started,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -207,7 +219,9 @@ class PoolBackend(SweepBackend):
         self, tasks: Sequence[Task], run_one: RunOneFn, emit: EmitFn
     ) -> None:
         if not tasks:
+            self.metrics = {"workers": 0, "tasks": 0, "wall_s": 0.0}
             return
+        started = time.perf_counter()
         workers = min(self.jobs, len(tasks))
         chunksize = max(1, math.ceil(len(tasks) / (workers * 4)))
         chunks = [
@@ -226,6 +240,13 @@ class PoolBackend(SweepBackend):
                     futures[future], future.result()
                 ):
                     emit(index, payload)
+        self.metrics = {
+            "workers": workers,
+            "tasks": len(tasks),
+            "chunks": len(chunks),
+            "chunk_size": chunksize,
+            "wall_s": time.perf_counter() - started,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -318,9 +339,11 @@ class LocalQueueBackend(SweepBackend):
         self, tasks: Sequence[Task], run_one: RunOneFn, emit: EmitFn
     ) -> None:
         if not tasks:
+            self.metrics = {"workers": 0, "tasks": 0, "wall_s": 0.0}
             return
         import multiprocessing
 
+        started = time.perf_counter()
         ctx = multiprocessing.get_context()
         workers = min(self.jobs, len(tasks))
         by_index = {index: obj for index, obj in tasks}
@@ -338,6 +361,12 @@ class LocalQueueBackend(SweepBackend):
         retries: dict[int, int] = {}
         procs: dict[int, object] = {}
         done: set[int] = set()
+        # Supervision observability, aggregated into self.metrics.
+        tasks_per_worker: dict[int, int] = {}
+        worker_deaths = 0
+        respawns = 0
+        lost_claim_recoveries = 0
+        max_heartbeat_gap_s = 0.0
 
         def spawn(slot: int) -> None:
             generations[slot] += 1
@@ -355,6 +384,8 @@ class LocalQueueBackend(SweepBackend):
 
         def handle_crash(slot: int) -> None:
             """Re-enqueue the dead worker's claim and replace it."""
+            nonlocal worker_deaths, respawns
+            worker_deaths += 1
             index = claims.pop(slot, None)
             procs.pop(slot)
             if index is not None and index not in done:
@@ -367,6 +398,7 @@ class LocalQueueBackend(SweepBackend):
                     )
                 task_queue.put((index, by_index[index]))
             if len(done) < len(tasks):
+                respawns += 1
                 spawn(slot)
 
         for slot in range(workers):
@@ -388,6 +420,9 @@ class LocalQueueBackend(SweepBackend):
                         claims.pop(slot, None)
                         if index not in done:
                             done.add(index)
+                            tasks_per_worker[slot] = (
+                                tasks_per_worker.get(slot, 0) + 1
+                            )
                             emit(index, payload)
                     elif kind == "error":
                         index, message = data
@@ -401,10 +436,13 @@ class LocalQueueBackend(SweepBackend):
                 now = time.time()
                 for slot, proc in list(procs.items()):
                     alive = proc.is_alive()
+                    gap = now - beats[slot]
+                    if alive and gap > max_heartbeat_gap_s:
+                        max_heartbeat_gap_s = gap
                     if (
                         alive
                         and self.stall_timeout_s
-                        and now - beats[slot] > self.stall_timeout_s
+                        and gap > self.stall_timeout_s
                     ):
                         proc.terminate()   # livelocked: no heartbeat
                         proc.join(5.0)
@@ -435,6 +473,8 @@ class LocalQueueBackend(SweepBackend):
                                     "giving up"
                                 )
                             task_queue.put((index, obj))
+                            lost_claim_recoveries += 1
+                    respawns += 1
                     spawn(0)
         finally:
             for proc in procs.values():
@@ -444,6 +484,20 @@ class LocalQueueBackend(SweepBackend):
             for q in (task_queue, result_queue):
                 q.close()
                 q.cancel_join_thread()
+            self.metrics = {
+                "workers": workers,
+                "tasks": len(tasks),
+                "tasks_per_worker": {
+                    str(slot): tasks_per_worker[slot]
+                    for slot in sorted(tasks_per_worker)
+                },
+                "worker_deaths": worker_deaths,
+                "respawns": respawns,
+                "retries": sum(retries.values()),
+                "lost_claim_recoveries": lost_claim_recoveries,
+                "max_heartbeat_gap_s": max_heartbeat_gap_s,
+                "wall_s": time.perf_counter() - started,
+            }
 
 
 # ----------------------------------------------------------------------
@@ -499,7 +553,10 @@ class SubprocessSSHBackend(SweepBackend):
         from repro.exp.worker import read_results_file, write_jobs_file
 
         if not tasks:
+            self.metrics = {"hosts": {}, "tasks": 0, "wall_s": 0.0}
             return
+        started = time.perf_counter()
+        host_metrics: dict[str, dict] = {}
         hosts = self.hosts[: len(tasks)]
         env = dict(os.environ)
         package_parent = str(Path(__file__).resolve().parents[2])
@@ -526,7 +583,18 @@ class SubprocessSSHBackend(SweepBackend):
             expected = {index for index, _obj in tasks}
             seen: set[int] = set()
             for host, piece, out_file, proc in launched:
+                host_started = time.perf_counter()
                 _stdout, stderr = proc.communicate()
+                host_metrics[host] = {
+                    "tasks": len(piece),
+                    # Wall time until this host's worker finished, from
+                    # backend start (hosts run concurrently; the gather
+                    # loop joins them in launch order).
+                    "done_after_s": (
+                        time.perf_counter() - started
+                    ),
+                    "drain_s": time.perf_counter() - host_started,
+                }
                 if proc.returncode != 0:
                     tail = stderr.decode(errors="replace").strip()[-2000:]
                     raise ReproError(
@@ -542,6 +610,11 @@ class SubprocessSSHBackend(SweepBackend):
                 raise ReproError(
                     f"hosts returned no result for task(s) {missing}"
                 )
+        self.metrics = {
+            "hosts": host_metrics,
+            "tasks": len(tasks),
+            "wall_s": time.perf_counter() - started,
+        }
 
 
 def _balanced_slices(tasks: list[Task], parts: int) -> list[list[Task]]:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -122,6 +123,15 @@ class ResultStore:
         #: get() bookkeeping, reset per store instance.
         self.hits = 0
         self.misses = 0
+        #: Durable-append latency accounting (lock + write + flush), per
+        #: instance — the store's contribution to sweep wall time.
+        self.flush_count = 0
+        self.flush_total_s = 0.0
+        self.flush_max_s = 0.0
+        #: Compaction latency accounting (auto and explicit).
+        self.compaction_count = 0
+        self.compaction_total_s = 0.0
+        self.compaction_last_s: float | None = None
         #: True when the file ends mid-line (crash during an append); the
         #: next put() must start on a fresh line or it merges with the
         #: partial record and corrupts itself too.
@@ -210,6 +220,7 @@ class ResultStore:
         if salt is not None:
             record["salt"] = salt
         line = json.dumps(record, sort_keys=True)
+        flush_started = time.perf_counter()
         with _store_lock(self.directory):
             # Decide the repair newline from the file's *actual* tail,
             # under the lock — not from load-time state: another process
@@ -223,6 +234,11 @@ class ResultStore:
                     handle.write("\n")
                 handle.write(line + "\n")
                 handle.flush()
+        flush_s = time.perf_counter() - flush_started
+        self.flush_count += 1
+        self.flush_total_s += flush_s
+        if flush_s > self.flush_max_s:
+            self.flush_max_s = flush_s
         self._records += 1
         self._index[key] = payload
         self._salts[key] = salt
@@ -298,6 +314,7 @@ class ResultStore:
         rows on the dead inode.  Returns the post-compaction
         :class:`StoreInfo`.
         """
+        compaction_started = time.perf_counter()
         if self.path.exists():
             # Hold the store lock across the re-read and the rename, so
             # rows streamed in by concurrent writers either land before
@@ -321,4 +338,36 @@ class ResultStore:
         self._records = len(self._index)
         self.skipped_lines = 0
         self._needs_newline = False
+        self.compaction_last_s = time.perf_counter() - compaction_started
+        self.compaction_count += 1
+        self.compaction_total_s += self.compaction_last_s
         return self.info()
+
+    def health(self) -> dict:
+        """One JSON-able health block: on-disk state plus this instance's
+        operational counters.  This is the store's contribution to
+        :class:`~repro.obs.SweepMetrics` and the payload behind
+        ``repro cache info``.
+        """
+        info = self.info()
+        return {
+            "path": info.path,
+            "size_bytes": info.size_bytes,
+            "live_keys": info.live_keys,
+            "dead_records": info.dead_records,
+            "stale_records": info.stale_records,
+            "damaged_lines": info.damaged_lines,
+            "hits": self.hits,
+            "misses": self.misses,
+            "auto_compactions": self.auto_compactions,
+            "flush": {
+                "count": self.flush_count,
+                "total_s": self.flush_total_s,
+                "max_s": self.flush_max_s,
+            },
+            "compaction": {
+                "count": self.compaction_count,
+                "total_s": self.compaction_total_s,
+                "last_s": self.compaction_last_s,
+            },
+        }

@@ -17,6 +17,7 @@ replay).
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from dataclasses import dataclass
@@ -32,8 +33,21 @@ from repro.exp.serialize import (
     result_to_dict,
 )
 from repro.exp.spec import Job, Overrides, SweepSpec, overrides_label
+from repro.obs import (
+    TELEMETRY_ENV,
+    SweepMetrics,
+    read_trace,
+    sweep_id_for,
+    telemetry_from_env,
+    trace_path_for,
+    write_sweep_trace,
+)
 
 ProgressFn = Callable[[str], None]
+
+#: Per-job telemetry fields carried between the worker payload, the
+#: in-memory result, and the sweep trace file.
+_OBS_FIELDS = ("latency", "samples", "samples_total")
 
 
 def execute_job(job: Job) -> dict:
@@ -42,14 +56,26 @@ def execute_job(job: Job) -> dict:
     Module-level so it pickles cleanly into worker processes.  Every
     backend routes results through this dict form — the single canonical
     representation shared with the cache.
+
+    Telemetry crosses the process boundary through the environment
+    (:data:`~repro.obs.TELEMETRY_ENV`, set by ``run_sweep``): when
+    enabled, the recorder's export rides as an ``"_obs"`` side channel
+    on the payload — *beside* the canonical result fields, never among
+    them, so cache rows and aggregate digests stay byte-identical with
+    telemetry on or off.
     """
     from repro.sim.runner import simulate_workload
 
+    telemetry = telemetry_from_env()
     result = simulate_workload(
         job.workload, config=job.config, defense=job.defense,
         n_entries=job.n_entries, seed=job.seed, engine=job.engine,
+        telemetry=telemetry,
     )
-    return result_to_dict(result)
+    payload = result_to_dict(result)
+    if telemetry is not None:
+        payload["_obs"] = telemetry.export()
+    return payload
 
 
 def execute_chunk(chunk: list[Job]) -> list[dict]:
@@ -81,6 +107,11 @@ class SweepResult:
     #: Wall time spent inside the backend (cache scanning excluded), so
     #: throughput numbers never credit cached jobs to the backend.
     exec_elapsed_s: float = 0.0
+    #: Operational metrics of this run (:class:`~repro.obs.SweepMetrics`).
+    metrics: SweepMetrics | None = None
+    #: Path of the JSONL sweep trace written next to the cache
+    #: (``None`` for storeless runs).
+    trace_path: str | None = None
 
     @property
     def total_jobs(self) -> int:
@@ -136,6 +167,7 @@ def run_sweep(
     progress: ProgressFn | None = None,
     backend: str | SweepBackend = "auto",
     hosts: Sequence[str] | None = None,
+    telemetry: bool = False,
 ) -> SweepResult:
     """Execute a sweep, reusing cached results where available.
 
@@ -158,6 +190,19 @@ def run_sweep(
     hosts:
         Host list for the ``subprocess-ssh`` backend (``"local"`` spawns
         a plain subprocess); ignored by the others.
+    telemetry:
+        Record per-request latency telemetry in every executed job
+        (enabled across worker processes via
+        :data:`~repro.obs.TELEMETRY_ENV`).  Results and cache rows are
+        byte-identical either way; the summaries land on each outcome's
+        ``result.latency`` and in the sweep trace file.
+
+    Every run aggregates a :class:`~repro.obs.SweepMetrics` block onto
+    the result, and — when a store is present — writes a JSONL sweep
+    trace next to the cache (``<cache_dir>/traces/``) for ``repro
+    stats`` / ``repro trace``.  Cached jobs carry their telemetry
+    forward from the previous trace of the same sweep, so a fully
+    cached re-run never erases observed latencies.
     """
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
@@ -166,6 +211,8 @@ def run_sweep(
     total = len(expanded)
     payloads: list[dict | None] = [None] * total
     cached: list[bool] = [False] * total
+    #: Per-index telemetry exports, carried outside the payloads.
+    observations: dict[int, dict] = {}
     cached_done = 0
     executed_done = 0
 
@@ -186,6 +233,11 @@ def run_sweep(
 
     def finish(index: int, payload: dict) -> None:
         nonlocal executed_done
+        # Telemetry rides beside the canonical payload: strip it before
+        # anything durable or digestable sees the dict.
+        obs = payload.pop("_obs", None)
+        if obs is not None:
+            observations[index] = obs
         payloads[index] = payload
         if store is not None:
             assert keys[index] is not None
@@ -201,26 +253,26 @@ def run_sweep(
     chosen = resolve_backend(backend, jobs=jobs, hosts=hosts)
     exec_started = time.perf_counter()
     if pending:
-        chosen.execute(
-            [(index, expanded[index]) for index in pending],
-            execute_job,
-            finish,
-        )
+        previous_env = os.environ.get(TELEMETRY_ENV)
+        if telemetry:
+            os.environ[TELEMETRY_ENV] = "1"
+        try:
+            chosen.execute(
+                [(index, expanded[index]) for index in pending],
+                execute_job,
+                finish,
+            )
+        finally:
+            if telemetry:
+                if previous_env is None:
+                    os.environ.pop(TELEMETRY_ENV, None)
+                else:
+                    os.environ[TELEMETRY_ENV] = previous_env
     exec_elapsed = time.perf_counter() - exec_started
     if executed_done != len(pending):
         raise ReproError(
             f"backend {chosen.name!r} finished {executed_done} of "
             f"{len(pending)} pending jobs"
-        )
-
-    if progress is not None and total:
-        rate = (
-            f" ({len(pending) / exec_elapsed:.2f} jobs/s)"
-            if pending and exec_elapsed > 0 else ""
-        )
-        progress(
-            f"{len(pending)} executed on {chosen.name} in "
-            f"{exec_elapsed:.2f}s{rate}, {cached_done} from cache"
         )
 
     outcomes = [
@@ -231,7 +283,7 @@ def run_sweep(
         )
         for job, payload, was_cached in zip(expanded, payloads, cached)
     ]
-    return SweepResult(
+    sweep = SweepResult(
         spec=spec,
         outcomes=outcomes,
         cache_hits=sum(cached),
@@ -240,6 +292,86 @@ def run_sweep(
         backend=chosen.name,
         exec_elapsed_s=exec_elapsed,
     )
+
+    if progress is not None and total:
+        # The printed jobs/s is SweepResult.exec_rate itself, so the
+        # line can never diverge from the recorded rate.
+        rate = (
+            f" ({sweep.exec_rate:.2f} jobs/s)"
+            if pending and exec_elapsed > 0 else ""
+        )
+        progress(
+            f"{sweep.executed} executed on {chosen.name} in "
+            f"{exec_elapsed:.2f}s{rate}, {cached_done} from cache"
+        )
+
+    sweep.metrics = SweepMetrics(
+        sweep_id=sweep_id_for(spec),
+        backend=chosen.name,
+        total_jobs=total,
+        executed=sweep.executed,
+        cache_hits=sweep.cache_hits,
+        elapsed_s=sweep.elapsed_s,
+        exec_elapsed_s=exec_elapsed,
+        exec_rate=sweep.exec_rate,
+        telemetry=bool(telemetry),
+        backend_metrics=dict(getattr(chosen, "metrics", {}) or {}),
+        store=store.health() if store is not None else None,
+    )
+    for index, obs in observations.items():
+        latency = obs.get("latency")
+        if latency is not None:
+            outcomes[index].result.latency = latency
+    if store is not None:
+        sweep.trace_path = str(_write_trace(
+            store, sweep.metrics, expanded, keys, cached, observations
+        ))
+    return sweep
+
+
+def _write_trace(
+    store: ResultStore,
+    metrics: SweepMetrics,
+    expanded: list[Job],
+    keys: list[str | None],
+    cached: list[bool],
+    observations: dict[int, dict],
+):
+    """Write (or refresh) the sweep's JSONL trace next to the cache.
+
+    Cached jobs re-use the telemetry recorded in the previous trace of
+    the same sweep (matched by cache key, so stale observations from an
+    older code version are never carried forward): a fully cached
+    re-run refreshes the metrics header without erasing latencies.
+    """
+    path = trace_path_for(store.directory, metrics.sweep_id)
+    previous: dict[str, dict] = {}
+    if path.exists():
+        previous = {
+            row["key"]: row
+            for row in read_trace(path)["jobs"]
+            if isinstance(row.get("key"), str)
+        }
+    job_rows = []
+    for index, job in enumerate(expanded):
+        row: dict = {
+            "type": "job",
+            "index": index,
+            "label": job.label,
+            "overrides": overrides_label(job.overrides),
+            "key": keys[index],
+            "engine": job.engine.label,
+            "from_cache": cached[index],
+        }
+        obs = observations.get(index)
+        if obs is None and cached[index]:
+            obs = previous.get(keys[index])
+        if obs:
+            for field_name in _OBS_FIELDS:
+                if obs.get(field_name) is not None:
+                    row[field_name] = obs[field_name]
+        job_rows.append(row)
+    return write_sweep_trace(path, metrics, job_rows)
 
 
 def stderr_progress(line: str) -> None:

@@ -127,6 +127,10 @@ def result_to_dict(result: SystemResult) -> dict:
     payload["mitigations"] = {
         reason.value: count for reason, count in result.mitigations.items()
     }
+    # Telemetry is an observation of the run, not part of it: keeping it
+    # out of the canonical payload keeps digests and cached rows
+    # byte-identical whether or not a run was observed.
+    payload.pop("latency", None)
     return payload
 
 

@@ -1,0 +1,65 @@
+"""Deterministic observability: sim telemetry, sweep metrics, stats surface.
+
+Three layers, one package:
+
+* :mod:`repro.obs.telemetry` — the per-request latency seam threaded
+  through the simulation engines (simulated-clock data only; zero
+  overhead and byte-identical results when off).
+* :mod:`repro.obs.metrics` — ``SweepMetrics`` aggregation plus the
+  JSONL sweep-trace writer/reader that lives next to the result cache.
+* :mod:`repro.obs.stats` — rendering helpers behind ``repro stats`` and
+  ``repro trace``.
+
+Deliberately *not* listed in ``exp.serialize.SIMULATION_SOURCES``:
+observability edits must never rotate the simulation code salt and
+invalidate caches, which is only sound because telemetry cannot change
+simulation results.
+"""
+
+from repro.obs.metrics import (
+    SWEEP_TRACE_SCHEMA,
+    SweepMetrics,
+    latest_trace_path,
+    list_trace_paths,
+    read_trace,
+    resolve_trace_path,
+    sweep_id_for,
+    trace_path_for,
+    traces_dir,
+    write_sweep_trace,
+)
+from repro.obs.telemetry import (
+    DEFAULT_MAX_SAMPLES,
+    NULL_TELEMETRY,
+    TELEMETRY_ENV,
+    TELEMETRY_MAX_SAMPLES_ENV,
+    NullTelemetry,
+    Telemetry,
+    active_telemetry,
+    percentile,
+    summarize_latencies,
+    telemetry_from_env,
+)
+
+__all__ = [
+    "DEFAULT_MAX_SAMPLES",
+    "NULL_TELEMETRY",
+    "SWEEP_TRACE_SCHEMA",
+    "TELEMETRY_ENV",
+    "TELEMETRY_MAX_SAMPLES_ENV",
+    "NullTelemetry",
+    "SweepMetrics",
+    "Telemetry",
+    "active_telemetry",
+    "latest_trace_path",
+    "list_trace_paths",
+    "percentile",
+    "read_trace",
+    "resolve_trace_path",
+    "summarize_latencies",
+    "sweep_id_for",
+    "telemetry_from_env",
+    "trace_path_for",
+    "traces_dir",
+    "write_sweep_trace",
+]

@@ -1,0 +1,195 @@
+"""Sweep/backend metrics and the JSONL sweep-trace files.
+
+A sweep run aggregates its operational counters — jobs executed vs
+cached, backend wall time and throughput, per-backend internals
+(worker utilization, heartbeat gaps, retries, lost-claim recoveries),
+store flush/compaction latencies — into one :class:`SweepMetrics`
+block attached to the :class:`~repro.exp.runner.SweepResult`.
+
+When the sweep has a cache, the same block plus the per-job telemetry
+(latency summaries and capped request samples) is written as a JSONL
+*trace file* under ``<cache_dir>/traces/``, named by the sweep's
+content identity so re-running the same spec updates the same file.
+Line 1 is the header (``type: "sweep"``), every following line is one
+job (``type: "job"``) in spec-expansion order.
+
+NOTE this module must not import :mod:`repro.exp` at module scope: the
+controller imports :mod:`repro.obs`, which would close an import cycle
+through ``exp.serialize`` → ``cpu.system`` → controller.  The one spec
+hash lives behind a lazy import instead.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Bump when the trace-file layout changes; readers stay tolerant.
+SWEEP_TRACE_SCHEMA = 1
+
+#: Subdirectory of the result-cache directory holding trace files.
+TRACE_DIR_NAME = "traces"
+
+
+@dataclass
+class SweepMetrics:
+    """Operational metrics of one sweep run (JSON-able)."""
+
+    #: Content identity of the sweep spec (not salted by code version:
+    #: the same grid keeps the same trace file across simulator edits).
+    sweep_id: str
+    backend: str
+    total_jobs: int
+    executed: int
+    cache_hits: int
+    elapsed_s: float
+    exec_elapsed_s: float
+    #: Executed jobs per second of backend wall time — by construction
+    #: the same value :attr:`SweepResult.exec_rate` reports.
+    exec_rate: float
+    #: Whether sim-level telemetry was enabled for the executed jobs.
+    telemetry: bool = False
+    #: Backend-specific counters (workers, retries, heartbeat gaps...).
+    backend_metrics: dict = field(default_factory=dict)
+    #: Store health snapshot (:meth:`~repro.exp.cache.ResultStore.health`)
+    #: taken after the sweep; ``None`` for storeless runs.
+    store: dict | None = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepMetrics":
+        known = {f for f in cls.__dataclass_fields__}  # tolerant reader
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def sweep_id_for(spec) -> str:
+    """Content identity of a :class:`~repro.exp.spec.SweepSpec`.
+
+    Everything that shapes the grid — workloads, defenses, overrides,
+    config, n_entries, seed, engine — but *not* the code-version salt:
+    trace files should survive simulator edits, unlike cache rows.
+    """
+    import hashlib
+
+    from repro.exp.serialize import canonical_json
+
+    identity = {
+        "workloads": [w.name for w in spec.workloads],
+        "defenses": [d.to_dict() for d in spec.defenses],
+        "overrides": spec.overrides,
+        "config": spec.config,
+        "include_baseline": spec.include_baseline,
+        "n_entries": spec.n_entries,
+        "seed": spec.seed,
+        "engine": spec.engine.to_dict(),
+    }
+    return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
+
+
+def traces_dir(cache_dir: str | Path) -> Path:
+    return Path(cache_dir) / TRACE_DIR_NAME
+
+
+def trace_path_for(cache_dir: str | Path, sweep_id: str) -> Path:
+    """Canonical trace-file path for one sweep identity."""
+    return traces_dir(cache_dir) / f"sweep-{sweep_id[:12]}.jsonl"
+
+
+def write_sweep_trace(
+    path: str | Path, metrics: SweepMetrics, job_rows: list[dict]
+) -> Path:
+    """Write one sweep's trace file atomically (header + job lines).
+
+    ``job_rows`` are ``type: "job"`` dicts in spec-expansion order.  The
+    write goes through a same-directory temp file and an atomic rename,
+    so a concurrently reading ``repro stats`` never sees a torn file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "type": "sweep",
+        "schema": SWEEP_TRACE_SCHEMA,
+        "sweep_id": metrics.sweep_id,
+        "metrics": metrics.to_dict(),
+    }
+    tmp = path.with_suffix(".tmp")
+    with tmp.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for row in job_rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return path
+
+
+def read_trace(path: str | Path) -> dict:
+    """Load one trace file: ``{"header": ..., "jobs": [...]}``.
+
+    Tolerant of unknown line types (future schema growth) and of
+    damaged trailing lines (a crashed writer), which are skipped.
+    """
+    header: dict | None = None
+    jobs: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            kind = row.get("type")
+            if kind == "sweep" and header is None:
+                header = row
+            elif kind == "job":
+                jobs.append(row)
+    if header is None:
+        header = {"type": "sweep", "schema": 0, "sweep_id": "?", "metrics": {}}
+    return {"header": header, "jobs": jobs}
+
+
+def list_trace_paths(cache_dir: str | Path) -> list[Path]:
+    """Trace files under a cache directory, most recent last."""
+    directory = traces_dir(cache_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        directory.glob("sweep-*.jsonl"),
+        key=lambda p: (p.stat().st_mtime, p.name),
+    )
+
+
+def latest_trace_path(cache_dir: str | Path) -> Path | None:
+    paths = list_trace_paths(cache_dir)
+    return paths[-1] if paths else None
+
+
+def resolve_trace_path(cache_dir: str | Path, selector: str | None) -> Path:
+    """Resolve a CLI selector to a trace file.
+
+    ``None`` or ``"latest"`` picks the most recently written trace; a
+    (prefix of a) sweep id picks by name; an existing file path is used
+    as-is.  Raises ``FileNotFoundError`` with the available choices.
+    """
+    if selector and Path(selector).is_file():
+        return Path(selector)
+    if selector in (None, "latest"):
+        latest = latest_trace_path(cache_dir)
+        if latest is None:
+            raise FileNotFoundError(
+                f"no sweep traces under {traces_dir(cache_dir)} "
+                "(run a sweep with --trace first)"
+            )
+        return latest
+    for path in list_trace_paths(cache_dir):
+        if path.stem.removeprefix("sweep-").startswith(selector):
+            return path
+    known = ", ".join(
+        p.stem.removeprefix("sweep-") for p in list_trace_paths(cache_dir)
+    ) or "(none)"
+    raise FileNotFoundError(
+        f"no sweep trace matching {selector!r}; known traces: {known}"
+    )

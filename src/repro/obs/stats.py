@@ -1,0 +1,178 @@
+"""Rendering for ``repro stats`` and ``repro trace``.
+
+Both subcommands read the JSONL sweep traces written by
+:func:`repro.exp.runner.run_sweep` next to the result cache:
+``repro stats`` summarises one sweep — operational metrics, backend
+internals, store health, and per-job latency percentiles — while
+``repro trace`` dumps the capped per-request samples of one job.
+
+Kept out of :mod:`repro.obs`'s package ``__init__`` on purpose: the
+simulation controller imports the package, and rendering must never be
+on the hot path's import chain.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.report import render_table
+
+
+def format_ns(value) -> str:
+    """Human-scale simulated-time duration (ns are the native unit)."""
+    if value is None:
+        return "-"
+    value = float(value)
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}s"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}us"
+    return f"{value:.0f}ns"
+
+
+def _metric_rows(metrics: dict) -> list[list[object]]:
+    rows: list[list[object]] = [
+        ["backend", metrics.get("backend", "?")],
+        ["jobs", metrics.get("total_jobs", "?")],
+        ["executed", metrics.get("executed", "?")],
+        ["cache hits", metrics.get("cache_hits", "?")],
+        ["elapsed (s)", round(float(metrics.get("elapsed_s", 0.0)), 3)],
+        ["backend wall (s)",
+         round(float(metrics.get("exec_elapsed_s", 0.0)), 3)],
+        ["exec rate (jobs/s)",
+         round(float(metrics.get("exec_rate", 0.0)), 2)],
+        ["telemetry", "on" if metrics.get("telemetry") else "off"],
+    ]
+    for key, value in sorted(
+        (metrics.get("backend_metrics") or {}).items()
+    ):
+        if isinstance(value, float):
+            value = round(value, 3)
+        rows.append([f"backend.{key}", value])
+    return rows
+
+
+def _store_rows(store: dict) -> list[list[object]]:
+    flush = store.get("flush") or {}
+    compaction = store.get("compaction") or {}
+    return [
+        ["path", store.get("path", "?")],
+        ["size (bytes)", store.get("size_bytes", 0)],
+        ["live entries", store.get("live_keys", 0)],
+        ["dead records", store.get("dead_records", 0)],
+        ["stale entries", store.get("stale_records", 0)],
+        ["damaged lines", store.get("damaged_lines", 0)],
+        ["hits / misses",
+         f"{store.get('hits', 0)} / {store.get('misses', 0)}"],
+        ["flushes",
+         f"{flush.get('count', 0)} "
+         f"({flush.get('total_s', 0.0):.3f}s total, "
+         f"{flush.get('max_s', 0.0):.3f}s max)"],
+        ["compactions",
+         f"{compaction.get('count', 0)} "
+         f"(auto {store.get('auto_compactions', 0)})"],
+        ["last compaction (s)",
+         "-" if compaction.get("last_s") is None
+         else round(compaction["last_s"], 3)],
+    ]
+
+
+def _latency_rows(jobs: list[dict]) -> list[list[object]]:
+    rows = []
+    for job in jobs:
+        latency = job.get("latency") or {}
+        blackouts = latency.get("blackouts") or {}
+        rows.append([
+            job.get("label", "?"),
+            job.get("engine", "?"),
+            "cache" if job.get("from_cache") else "run",
+            latency.get("count", "-"),
+            format_ns(latency.get("p50_ns")),
+            format_ns(latency.get("p95_ns")),
+            format_ns(latency.get("p99_ns")),
+            format_ns(latency.get("max_ns")),
+            sum(b.get("count", 0) for b in blackouts.values()) or "-",
+            latency.get("psq_high_water", "-") if latency else "-",
+        ])
+    return rows
+
+
+def render_stats(trace: dict, path: str | Path | None = None) -> str:
+    """Full ``repro stats`` output for one parsed trace."""
+    header = trace.get("header") or {}
+    metrics = header.get("metrics") or {}
+    jobs = trace.get("jobs") or []
+    sweep_id = str(header.get("sweep_id", "?"))
+    title = f"Sweep {sweep_id[:12]}"
+    if path is not None:
+        title += f" ({path})"
+    sections = [
+        render_table(title, ["metric", "value"], _metric_rows(metrics)),
+    ]
+    store = metrics.get("store")
+    if store:
+        sections.append(render_table(
+            "Store health", ["metric", "value"], _store_rows(store)
+        ))
+    sections.append(render_table(
+        "Per-job request latency (simulated time)",
+        ["job", "engine", "source", "requests", "p50", "p95", "p99",
+         "max", "blackouts", "psq hw"],
+        _latency_rows(jobs),
+    ))
+    observed = sum(1 for j in jobs if j.get("latency"))
+    if observed < len(jobs):
+        sections.append(
+            f"{len(jobs) - observed} of {len(jobs)} job(s) have no "
+            "telemetry (run the sweep with --trace to record it)"
+        )
+    return "\n\n".join(sections)
+
+
+def render_trace(
+    trace: dict, job: str | None = None, limit: int = 20,
+    path: str | Path | None = None,
+) -> str:
+    """``repro trace`` output: per-request samples of the matching jobs.
+
+    ``job`` filters by label substring; ``limit`` caps the printed
+    samples per job (the recorder itself caps what it stores — the
+    footer reports both truncations).
+    """
+    jobs = trace.get("jobs") or []
+    if job is not None:
+        jobs = [j for j in jobs if job in str(j.get("label", ""))]
+        if not jobs:
+            known = ", ".join(
+                str(j.get("label", "?"))
+                for j in (trace.get("jobs") or [])
+            ) or "(none)"
+            return f"no job matching {job!r}; jobs in trace: {known}"
+    sections = []
+    for row in jobs:
+        samples = row.get("samples") or []
+        label = row.get("label", "?")
+        if not samples:
+            sections.append(f"{label}: no recorded samples")
+            continue
+        body = [
+            [format_ns(arrive), format_ns(latency),
+             "write" if is_write else "read",
+             "-" if core is None else core]
+            for arrive, latency, is_write, core in samples[:limit]
+        ]
+        table = render_table(
+            f"{label} ({row.get('engine', '?')})",
+            ["arrive", "latency", "op", "core"],
+            body,
+        )
+        total = row.get("samples_total", len(samples))
+        if len(samples) > limit or total > len(samples):
+            table += (
+                f"\n({min(limit, len(samples))} of {total} requests shown; "
+                f"{len(samples)} stored in the trace)"
+            )
+        sections.append(table)
+    return "\n\n".join(sections)

@@ -1,0 +1,242 @@
+"""Sim-level telemetry: per-request latency traces on the simulated clock.
+
+The simulation engines expose one observation seam: a :class:`Telemetry`
+object threaded through :meth:`~repro.sim.engines.base.SimEngine.simulate`
+into the controller (event engine) or the replay loop (epoch engine).
+Everything recorded is keyed to the *simulated* clock — request arrival
+and completion instants, ABO/RFM/REF blackout windows, PSQ occupancy
+high-water marks — so the data is a pure observation of a run the
+telemetry can never perturb: golden hashes and event-vs-epoch digests
+are byte-identical with telemetry on or off.
+
+Zero overhead when off: the engines normalize a disabled (or absent)
+telemetry to ``None`` and the hot path pays exactly one ``is not None``
+test per request.  :data:`NULL_TELEMETRY` (a :class:`NullTelemetry`) is
+the explicit disabled instance for callers that want an object either
+way.
+
+Worker processes enable telemetry through the environment
+(:data:`TELEMETRY_ENV`), because sweep backends cross process
+boundaries where no object can travel: ``run_sweep(...,
+telemetry=True)`` sets the variable around backend execution and
+:func:`telemetry_from_env` builds the recorder inside the worker.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator
+
+#: Set to ``1`` to enable per-request telemetry in sweep workers.
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+#: Caps the per-request samples *exported* per job (summaries always
+#: cover every request).  The first N samples in simulated-clock
+#: service order are kept — a deterministic prefix, not a random draw.
+TELEMETRY_MAX_SAMPLES_ENV = "REPRO_TELEMETRY_MAX_SAMPLES"
+
+#: Default export cap: enough for latency scatter plots, small enough
+#: that sweep trace files stay in the low megabytes.
+DEFAULT_MAX_SAMPLES = 10_000
+
+#: Histogram bucket upper bounds (ns), log2-spaced.  The last bucket is
+#: open-ended (represented as ``null`` in JSON).
+_HISTOGRAM_EDGES = tuple(float(1 << exp) for exp in range(4, 21))
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = int(len(sorted_values) * fraction + 0.5)
+    if rank < 1:
+        rank = 1
+    elif rank > len(sorted_values):
+        rank = len(sorted_values)
+    return sorted_values[rank - 1]
+
+
+def summarize_latencies(latencies: Iterable[float]) -> dict:
+    """Percentiles + histogram of a latency population (ns).
+
+    Deterministic: depends only on the multiset of values.  The
+    histogram is a list of ``[upper_bound_ns, count]`` pairs over fixed
+    log2 buckets, empty buckets omitted; the open-ended tail bucket has
+    bound ``None``.
+    """
+    values = sorted(latencies)
+    count = len(values)
+    if not count:
+        return {
+            "count": 0, "mean_ns": 0.0, "p50_ns": 0.0, "p95_ns": 0.0,
+            "p99_ns": 0.0, "max_ns": 0.0, "histogram": [],
+        }
+    buckets: dict[float | None, int] = {}
+    edges = _HISTOGRAM_EDGES
+    for value in values:
+        for edge in edges:
+            if value <= edge:
+                buckets[edge] = buckets.get(edge, 0) + 1
+                break
+        else:
+            buckets[None] = buckets.get(None, 0) + 1
+    histogram = [
+        [edge, buckets[edge]] for edge in edges if edge in buckets
+    ]
+    if None in buckets:
+        histogram.append([None, buckets[None]])
+    return {
+        "count": count,
+        "mean_ns": sum(values) / count,
+        "p50_ns": percentile(values, 0.50),
+        "p95_ns": percentile(values, 0.95),
+        "p99_ns": percentile(values, 0.99),
+        "max_ns": values[-1],
+        "histogram": histogram,
+    }
+
+
+class NullTelemetry:
+    """The disabled recorder: every hook is a no-op.
+
+    ``enabled`` is the engines' contract: anything falsy there (or a
+    plain ``None``) keeps the hot path untouched.  All recording
+    methods exist so code holding "a telemetry" never needs a branch.
+    """
+
+    enabled = False
+
+    def record_request(self, arrive_ns, done_ns, is_write, core_id) -> None:
+        pass
+
+    def record_blackout(self, start_ns, end_ns, kind) -> None:
+        pass
+
+    def record_ref(self, start_ns, end_ns, defenses) -> None:
+        pass
+
+    def summary_dict(self) -> dict | None:
+        return None
+
+    def export(self) -> dict | None:
+        return None
+
+
+#: Shared disabled instance (stateless, safe to reuse everywhere).
+NULL_TELEMETRY = NullTelemetry()
+
+
+class Telemetry:
+    """Recording telemetry for one simulation run.
+
+    Collects, on the simulated clock:
+
+    * one latency sample per serviced DRAM request (enqueue at the
+      controller → data burst completion, reads *and* writes — the same
+      definition under both engines),
+    * blackout windows by kind — ``"abo"`` (Alert Back-Off RFM bursts),
+      ``"cadence"`` (controller-scheduled RFMs), ``"ref"`` (periodic
+      all-bank refresh),
+    * PSQ occupancy, sampled at every REF tick across the refreshed
+      rank's banks (defenses without a ``psq`` attribute contribute
+      nothing), with the high-water mark retained.
+
+    ``max_samples`` caps only the exported per-request rows; summaries
+    always cover the full population.
+    """
+
+    enabled = True
+
+    __slots__ = (
+        "max_samples", "latencies", "samples", "blackout_counts",
+        "blackout_ns", "psq_high_water",
+    )
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        self.max_samples = max(0, int(max_samples))
+        #: Full latency population (ns), service order.
+        self.latencies: list[float] = []
+        #: Exported rows ``[arrive_ns, latency_ns, is_write, core_id]``.
+        self.samples: list[list] = []
+        self.blackout_counts: dict[str, int] = {}
+        self.blackout_ns: dict[str, float] = {}
+        self.psq_high_water = 0
+
+    # -- engine-facing hooks (hot when enabled) ------------------------
+    def record_request(self, arrive_ns, done_ns, is_write, core_id) -> None:
+        latency = done_ns - arrive_ns
+        self.latencies.append(latency)
+        if len(self.samples) < self.max_samples:
+            self.samples.append(
+                [arrive_ns, latency, bool(is_write), core_id]
+            )
+
+    def record_blackout(self, start_ns, end_ns, kind) -> None:
+        self.blackout_counts[kind] = self.blackout_counts.get(kind, 0) + 1
+        self.blackout_ns[kind] = (
+            self.blackout_ns.get(kind, 0.0) + (end_ns - start_ns)
+        )
+
+    def record_ref(self, start_ns, end_ns, defenses) -> None:
+        """One REF tick: a ``"ref"`` blackout plus a PSQ occupancy pass
+        over the refreshed rank's bank defenses (via the defenses'
+        ``psq_occupancy`` observation property)."""
+        self.record_blackout(start_ns, end_ns, "ref")
+        high = self.psq_high_water
+        for defense in defenses:
+            depth = getattr(defense, "psq_occupancy", None)
+            if depth is not None and depth > high:
+                high = depth
+        self.psq_high_water = high
+
+    # -- reporting -----------------------------------------------------
+    def summary_dict(self) -> dict:
+        """The latency/blackout summary attached to a result (JSON-able,
+        deterministic for a deterministic run)."""
+        summary = summarize_latencies(self.latencies)
+        summary["blackouts"] = {
+            kind: {
+                "count": self.blackout_counts[kind],
+                "ns": self.blackout_ns.get(kind, 0.0),
+            }
+            for kind in sorted(self.blackout_counts)
+        }
+        summary["psq_high_water"] = self.psq_high_water
+        return summary
+
+    def export(self) -> dict:
+        """Summary plus the capped per-request sample rows (the payload
+        side channel a sweep worker ships home)."""
+        return {
+            "latency": self.summary_dict(),
+            "samples": self.samples,
+            "samples_total": len(self.latencies),
+        }
+
+
+def telemetry_from_env() -> Telemetry | None:
+    """Build a recorder iff :data:`TELEMETRY_ENV` enables one.
+
+    The cross-process enablement channel for sweep workers; returns
+    ``None`` (not a :class:`NullTelemetry`) when disabled so callers can
+    pass the result straight to an engine.
+    """
+    if os.environ.get(TELEMETRY_ENV, "").strip() not in ("1", "true", "yes"):
+        return None
+    raw = os.environ.get(TELEMETRY_MAX_SAMPLES_ENV, "")
+    try:
+        max_samples = int(raw) if raw else DEFAULT_MAX_SAMPLES
+    except ValueError:
+        max_samples = DEFAULT_MAX_SAMPLES
+    return Telemetry(max_samples=max_samples)
+
+
+def active_telemetry(telemetry) -> "Telemetry | None":
+    """Normalize any telemetry designator to ``None`` when disabled.
+
+    Engines call this once per run so their hot paths test a plain
+    ``is not None`` instead of an attribute.
+    """
+    if telemetry is None or not getattr(telemetry, "enabled", False):
+        return None
+    return telemetry

@@ -81,8 +81,18 @@ class SimEngine:
         n_entries: int,
         seed: int = 0,
         variant_name: str | None = None,
+        telemetry=None,
     ) -> "SystemResult":
-        """Run one fully-resolved simulation job to completion."""
+        """Run one fully-resolved simulation job to completion.
+
+        ``telemetry`` is an optional :class:`~repro.obs.Telemetry`
+        recorder.  Engines MUST produce byte-identical results with it
+        enabled, disabled, or absent — it observes the simulated clock,
+        never steers it — and should attach the summary to the result's
+        ``latency`` field when enabled.  Callers only pass the keyword
+        when telemetry is enabled, so engines predating the seam keep
+        working.
+        """
         raise NotImplementedError
 
 

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.controller.memctrl import DefenseFactory, MemStats, rfm_scope_banks
 from repro.core.defense import EpochBankView, MitigationReason
+from repro.obs.telemetry import active_telemetry
 from repro.cpu.core import WRITE_BUFFER_DEPTH
 from repro.cpu.system import SystemResult
 from repro.dram.address import AddressMapper
@@ -131,14 +132,17 @@ class _EpochCore:
     """
 
     __slots__ = (
-        "reqs", "req", "load_inst",
+        "cid", "reqs", "req", "load_inst",
         "idx", "n", "base", "delay", "front_total", "total_instructions",
         "read_done", "read_pmax", "read_inst", "read_loadidx",
         "rob_ptr", "rob_read_ptr", "mshr_ptr",
         "write_done", "last_done", "finish",
     )
 
-    def __init__(self, reqs, load_inst, front_total, total_instructions):
+    def __init__(self, reqs, load_inst, front_total, total_instructions,
+                 cid=0):
+        #: Core index, carried only for telemetry sample attribution.
+        self.cid = cid
         #: Request tuples ``(front, inst, loadidx, bank, row, chan,
         #: is_write, is_demand)`` — one unpack per request in the replay
         #: loop instead of eight indexed column loads.
@@ -203,7 +207,9 @@ class EpochEngine(SimEngine):
         n_entries: int,
         seed: int = 0,
         variant_name: str | None = None,
+        telemetry=None,
     ) -> SystemResult:
+        tm = active_telemetry(telemetry)
         stats = MemStats()
         banks, ranks = self._build_memory(config, defense_factory)
         stream = _prepare_stream(
@@ -216,12 +222,13 @@ class EpochEngine(SimEngine):
                 load_inst=stream.load_inst[c],
                 front_total=stream.front_total[c],
                 total_instructions=stream.total_instructions[c],
+                cid=c,
             )
             for c in range(len(stream.reqs))
         ]
         self.work_units = llc_total
 
-        self._replay(cores, banks, ranks, config, stats)
+        self._replay(cores, banks, ranks, config, stats, tm)
 
         timing = config.timing
         t_refi = timing.t_refi
@@ -234,6 +241,11 @@ class EpochEngine(SimEngine):
             while rank.next_ref < sim_time:
                 for bank in rank.banks:
                     bank.view.on_ref()
+                if tm is not None:
+                    tm.record_ref(
+                        rank.next_ref, rank.next_ref + timing.t_rfc,
+                        (b.view.defense for b in rank.banks),
+                    )
                 rank.next_ref += t_refi
         # The refs statistic is analytic — ticks at or before sim_time —
         # so batch-boundary catch-up can't over-count the final window.
@@ -250,7 +262,7 @@ class EpochEngine(SimEngine):
             if core.finish > 0 else 0.0
             for core in cores
         ]
-        return SystemResult.from_stats(
+        result = SystemResult.from_stats(
             workload=workload.name,
             variant=variant_name or config.variant.value,
             sim_time_ns=sim_time,
@@ -260,6 +272,9 @@ class EpochEngine(SimEngine):
             llc_hit_rate=llc_hits / llc_total if llc_total else 0.0,
             mitigations=self._defense_stats(banks),
         )
+        if tm is not None:
+            result.latency = tm.summary_dict()
+        return result
 
     # ------------------------------------------------------------------
     # Setup: banks, ranks, defenses
@@ -293,7 +308,7 @@ class EpochEngine(SimEngine):
     # ------------------------------------------------------------------
     # The replay loop (hot): issue-ordered merge in tREFI-chunk batches
     # ------------------------------------------------------------------
-    def _replay(self, cores, banks, ranks, config, stats):
+    def _replay(self, cores, banks, ranks, config, stats, tm=None):
         timing = config.timing
         prac = config.prac
         t_rp = timing.t_rp
@@ -323,6 +338,9 @@ class EpochEngine(SimEngine):
         bus_wait = [0.0] * n_channels
         chunk_ns = t_refi * self.trefi_chunk
         rank_avail = self._rank_avail
+        # Telemetry is observation-only: one None test per request when
+        # off, mirroring the controller's _service_hot slot.
+        tm_record = tm.record_request if tm is not None else None
 
         # The merge frontier: every live core's next issue time.  Four
         # cores, so a linear argmin beats a heap; requests are processed
@@ -382,6 +400,11 @@ class EpochEngine(SimEngine):
                     while rank.next_ref < base:
                         for hook in rank.on_refs:
                             hook()
+                        if tm is not None:
+                            tm.record_ref(
+                                rank.next_ref, rank.next_ref + t_rfc,
+                                (b.view.defense for b in rank.banks),
+                            )
                         rank.next_ref += t_refi
                 continue
             (_front, inst_i, loadidx_i, bank_i, row, ch, is_write,
@@ -454,6 +477,8 @@ class EpochEngine(SimEngine):
                 core.read_loadidx.append(loadidx_i)
             if done > core.last_done:
                 core.last_done = done
+            if tm_record is not None:
+                tm_record(t0, done, is_write, core.cid)
             if act_time is not None:
                 n_acts += 1
                 # In-stream REF catch-up: this rank's defense hooks fire
@@ -464,6 +489,11 @@ class EpochEngine(SimEngine):
                     while rank.next_ref <= act_time:
                         for hook in rank.on_refs:
                             hook()
+                        if tm is not None:
+                            tm.record_ref(
+                                rank.next_ref, rank.next_ref + t_rfc,
+                                (b.view.defense for b in rank.banks),
+                            )
                         rank.next_ref += t_refi
                 rank.acts_since_rfm += 1
                 wants_alert = bank.on_activation(row)
@@ -472,9 +502,9 @@ class EpochEngine(SimEngine):
                     bank.cadence_counter += 1
                     if bank.cadence_counter >= cadence:
                         bank.cadence_counter = 0
-                        self._cadence_rfm(bank, act_time, timing, stats)
+                        self._cadence_rfm(bank, act_time, timing, stats, tm)
                 if wants_alert:
-                    self._maybe_alert(bank, rank, act_time, prac, timing)
+                    self._maybe_alert(bank, rank, act_time, prac, timing, tm)
 
             # Advance: stage the next request and compute its issue time
             # (front-end schedule + ROB/MSHR/write-buffer floors; see the
@@ -617,16 +647,18 @@ class EpochEngine(SimEngine):
     # Activation-side protocol (same sequencing as the controller)
     # ------------------------------------------------------------------
     @staticmethod
-    def _cadence_rfm(bank, act_time, timing, stats):
+    def _cadence_rfm(bank, act_time, timing, stats, tm=None):
         start = act_time + timing.t_rc
         blocked = bank.blocked
         bank.blocked = (blocked if blocked > start else start) + timing.t_rfm
         bank.open_row = -1
         bank.view.on_rfm(True)
         stats.cadence_rfms += 1
+        if tm is not None:
+            tm.record_blackout(start, bank.blocked, "cadence")
 
     @staticmethod
-    def _maybe_alert(bank, rank, act_time, prac, timing):
+    def _maybe_alert(bank, rank, act_time, prac, timing, tm=None):
         if act_time < rank.alert_busy_until:
             return
         if rank.acts_since_rfm < prac.abo_delay:
@@ -641,6 +673,8 @@ class EpochEngine(SimEngine):
             for member in scope:
                 member.view.on_rfm(member is bank)
         rank.rfm_commands += prac.n_mit
+        if tm is not None:
+            tm.record_blackout(rfm_start, rfm_end, "abo")
         if prac.rfm_scope is RfmScope.ALL_BANK:
             rank.blackouts.append((rfm_start, rfm_end))
             for member in scope:

@@ -24,6 +24,7 @@ def build_event_system(
     defense_factory: DefenseFactory,
     n_entries: int,
     seed: int = 0,
+    telemetry=None,
 ) -> MulticoreSystem:
     """Construct (but do not run) the event-driven system for one job.
 
@@ -37,7 +38,8 @@ def build_event_system(
         for core in range(config.cpu.cores)
     ]
     return MulticoreSystem(
-        config, traces, defense_factory, workload_name=workload.name
+        config, traces, defense_factory, workload_name=workload.name,
+        telemetry=telemetry,
     )
 
 
@@ -59,10 +61,16 @@ class EventEngine(SimEngine):
         n_entries: int,
         seed: int = 0,
         variant_name: str | None = None,
+        telemetry=None,
     ) -> SystemResult:
         system = build_event_system(
-            workload, config, defense_factory, n_entries, seed
+            workload, config, defense_factory, n_entries, seed,
+            telemetry=telemetry,
         )
         result = system.run(variant_name=variant_name)
         self.work_units = system.events.events_processed
+        # The controller normalized the designator; observed runs carry
+        # their summary out-of-band of the canonical payload.
+        if system.memory.telemetry is not None:
+            result.latency = system.memory.telemetry.summary_dict()
         return result

@@ -63,6 +63,7 @@ def build_system(
     defense_factory: DefenseFactory | None = None,
     n_entries: int = DEFAULT_ENTRIES,
     seed: int = 0,
+    telemetry=None,
 ) -> MulticoreSystem:
     """Construct (but do not run) a four-copy homogeneous event system.
 
@@ -73,7 +74,9 @@ def build_system(
     config = config or default_config()
     spec = _resolve_spec(workload)
     factory = defense_factory or qprac_factory()
-    return build_event_system(spec, config, factory, n_entries, seed)
+    return build_event_system(
+        spec, config, factory, n_entries, seed, telemetry=telemetry
+    )
 
 
 def simulate_workload(
@@ -85,6 +88,7 @@ def simulate_workload(
     n_entries: int = DEFAULT_ENTRIES,
     seed: int = 0,
     engine: EngineSpec | str | None = None,
+    telemetry=None,
 ) -> SystemResult:
     """Simulate one workload under one defense configuration.
 
@@ -99,6 +103,12 @@ def simulate_workload(
     ``engine`` selects the simulation engine by
     :class:`~repro.sim.engines.EngineSpec` (or its string form); ``None``
     runs the byte-identical ``event`` reference.
+
+    ``telemetry`` attaches a :class:`~repro.obs.Telemetry` recorder to
+    the run (see :mod:`repro.obs`); results are byte-identical with or
+    without one.  The keyword is only forwarded when a recorder is
+    enabled, so externally registered engines that predate the seam
+    keep working untouched.
     """
     config = config or default_config()
     selectors = (defense, variant, defense_factory)
@@ -126,6 +136,9 @@ def simulate_workload(
     else:
         name = None  # default QPRAC factory: label by config.variant
     sim = resolve_engine(engine).build()
+    kwargs = {}
+    if telemetry is not None and getattr(telemetry, "enabled", False):
+        kwargs["telemetry"] = telemetry
     return sim.simulate(
         _resolve_spec(workload),
         config,
@@ -133,6 +146,7 @@ def simulate_workload(
         n_entries=n_entries,
         seed=seed,
         variant_name=name,
+        **kwargs,
     )
 
 
