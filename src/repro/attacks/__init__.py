@@ -1,0 +1,44 @@
+"""Attack patterns: the fourth spec-addressable plugin registry.
+
+See :mod:`repro.attacks.registry` for the spec/registry machinery,
+:mod:`repro.attacks.builtin` for the built-in pattern families, and
+:mod:`repro.attacks.hunt` for the worst-pattern search sweep (imported
+directly by its users — not re-exported here, because it pulls in the
+experiment orchestration layer).
+"""
+
+from repro.attacks.registry import (
+    AttackParam,
+    AttackRegistry,
+    AttackSpec,
+    AttackWorkload,
+    REGISTRY,
+    RegisteredAttack,
+    attack_rows,
+    attack_workload,
+    bandwidth_targets,
+    build_attack_trace,
+    register_attack,
+    registered_attacks,
+    resolve_attack,
+)
+
+# Importing the package registers the built-in patterns (mirrors how
+# repro.defenses / repro.sim.engines populate their registries).
+from repro.attacks import builtin as _builtin  # noqa: F401  (registration)
+
+__all__ = [
+    "AttackParam",
+    "AttackRegistry",
+    "AttackSpec",
+    "AttackWorkload",
+    "REGISTRY",
+    "RegisteredAttack",
+    "attack_rows",
+    "attack_workload",
+    "bandwidth_targets",
+    "build_attack_trace",
+    "register_attack",
+    "registered_attacks",
+    "resolve_attack",
+]

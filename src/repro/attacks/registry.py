@@ -1,0 +1,409 @@
+"""The attack-pattern registry: named, serializable, pluggable adversaries.
+
+Attack traffic was the last hard-coded dimension of the evaluation:
+defenses, sweep backends and simulation engines are all spec-addressable
+registries, but adversarial patterns lived as fixed generator functions.
+This module makes attacks the fourth registry: an :class:`AttackSpec` is
+a plain ``(name, params)`` value in the shared ``name[:k=v,...]`` grammar
+of :mod:`repro.specs` — hashable, picklable, byte-stably serializable —
+resolved through a process-wide :class:`AttackRegistry` to a registered
+pattern generator.
+
+A registered pattern provides one (or both) of two products:
+
+* a **trace generator** — ``generator(org, n_entries, seed, **params)``
+  returning a deterministic, seeded
+  :class:`~repro.cpu.trace.Trace`.  Patterns enter sweeps as
+  :class:`AttackWorkload` s (a :class:`~repro.workloads.synthetic.
+  WorkloadSpec` subclass carrying its spec), so both simulation engines
+  execute them through the exact workload path — generation, memoization,
+  caching and digests all unchanged;
+* a **bandwidth schedule** — an optional ``rows`` callable giving the
+  per-bank aggressor-row pool the closed-loop Figure 19 attacker cycles
+  (:func:`bandwidth_targets` composes it into per-bank address pools for
+  :func:`~repro.sim.bandwidth.run_bandwidth_attack`).
+
+The same two load-bearing properties as the defense registry hold:
+registry-independent identity (a spec's serialized form — and every
+cache key derived from it — depends only on its own name and params) and
+fail-fast validation (a typo'd pattern or parameter dies before any
+simulation runs, naming the registered alternatives).
+
+External code plugs in new patterns with one decorator::
+
+    from repro.attacks import register_attack
+
+    @register_attack("my-pattern", summary="my adversarial schedule")
+    def my_pattern(org, n_entries, seed, *, knob: int = 4):
+        ...
+        return Trace(bubbles, addresses, is_write, name="my-pattern")
+
+    run_sweep(SweepSpec.build((), ["qprac"], attacks=["my-pattern:knob=8"]))
+
+As with defenses, register at import time so parallel sweep workers
+(which re-import the code) see the registration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.dram.address import AddressMapper, flat_bank_coords
+from repro.errors import ConfigError, ReproError
+from repro.params import DRAMOrganization
+from repro.specs import (
+    SpecParam,
+    check_params,
+    introspect_params,
+    parse_name_params,
+    render_value as _render_value,
+)
+from repro.workloads.synthetic import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.trace import Trace
+
+#: Generator signature: positional ``(org, n_entries, seed)`` plus
+#: keyword params; returns a deterministic :class:`Trace`.
+AttackGenerator = Callable[..., "Trace"]
+
+#: Optional per-pattern bandwidth schedule: ``rows(org, seed, params)``
+#: returns the per-bank aggressor row indices the pool attacker cycles.
+#: ``params`` is the spec's params dict with the generator's defaults
+#: filled in, so one parameter table serves both products.
+AttackRows = Callable[..., "list[int]"]
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """A serializable description of one attack pattern: name + params.
+
+    Params are stored as a sorted tuple of ``(key, value)`` pairs so two
+    specs naming the same pattern always compare (and hash, and
+    serialize) identically regardless of construction order.
+    """
+
+    name: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("attack pattern name must be non-empty")
+        object.__setattr__(
+            self, "params", tuple(sorted(dict(self.params).items()))
+        )
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def of(cls, name: str, **params: object) -> "AttackSpec":
+        """Convenience constructor: ``AttackSpec.of("decoy", decoys=4)``."""
+        return cls(name=name, params=tuple(params.items()))
+
+    @classmethod
+    def from_string(cls, text: str) -> "AttackSpec":
+        """Parse the CLI syntax ``name`` or ``name:key=value,key=value``.
+
+        Values are coerced (int/float/bool/None) by the shared grammar
+        in :mod:`repro.specs` — identical for every registry.
+        """
+        name, params = parse_name_params(text, "attack pattern")
+        return cls.of(name, **params)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "AttackSpec":
+        """Inverse of :meth:`to_dict`."""
+        name = payload.get("name")
+        params = payload.get("params", {})
+        if not isinstance(name, str) or not isinstance(params, Mapping):
+            raise ConfigError(f"malformed attack payload: {payload!r}")
+        return cls.of(name, **dict(params))
+
+    # -- identity ------------------------------------------------------
+    @property
+    def params_dict(self) -> dict[str, object]:
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        """Canonical human/cache label: ``name[:k=v,...]`` (sorted keys)."""
+        if not self.params:
+            return self.name
+        rendered = ",".join(
+            f"{k}={_render_value(v)}" for k, v in self.params
+        )
+        return f"{self.name}:{rendered}"
+
+    def to_string(self) -> str:
+        """CLI-syntax form; round-trips for every value the syntax can
+        express (build exotic specs with :meth:`of` instead)."""
+        return self.label
+
+    def to_dict(self) -> dict:
+        """JSON-able form; feeds cache keys, so registry-independent."""
+        return {"name": self.name, "params": self.params_dict}
+
+    # -- resolution ----------------------------------------------------
+    def validate(self, registry: "AttackRegistry | None" = None) -> None:
+        """Check name and params against the registry; raise otherwise."""
+        (registry or REGISTRY).entry(self.name).check_params(self.params_dict)
+
+
+#: One keyword parameter a registered generator accepts — the shared
+#: :class:`~repro.specs.SpecParam` table every registry uses.
+AttackParam = SpecParam
+
+
+@dataclass(frozen=True)
+class RegisteredAttack:
+    """Registry entry: the generator plus its introspected param table."""
+
+    name: str
+    generator: AttackGenerator
+    summary: str = ""
+    params: tuple[AttackParam, ...] = field(default=())
+    #: Per-bank aggressor-row pool for the closed-loop bandwidth
+    #: attacker, or ``None`` when the pattern is trace-only.
+    rows: AttackRows | None = None
+
+    def check_params(self, params: Mapping[str, object]) -> None:
+        check_params("attack pattern", self.name, self.params, params)
+
+    def full_params(self, params: Mapping[str, object]) -> dict[str, object]:
+        """``params`` with the generator's declared defaults filled in."""
+        filled = {p.name: p.default for p in self.params}
+        filled.update(params)
+        return filled
+
+
+def _introspect_params(generator: AttackGenerator) -> tuple[AttackParam, ...]:
+    """Param table from a generator's signature, skipping the three
+    positional inputs ``(org, n_entries, seed)``."""
+    return introspect_params(
+        generator, skip=3, kind="attack generator", owner=repr(generator)
+    )
+
+
+class AttackRegistry:
+    """Name → :class:`RegisteredAttack` map with duplicate rejection."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, RegisteredAttack] = {}
+
+    def register(
+        self,
+        name: str,
+        summary: str = "",
+        rows: AttackRows | None = None,
+    ) -> Callable[[AttackGenerator], AttackGenerator]:
+        """Decorator registering ``generator`` under ``name``.
+
+        The generator is called as ``generator(org, n_entries, seed,
+        **params)``; its keyword parameters (introspected from the
+        signature) become the spec's valid params.  ``rows`` optionally
+        supplies the pattern's bandwidth-attack schedule.
+        """
+        if not name:
+            raise ConfigError("attack pattern name must be non-empty")
+
+        def decorator(generator: AttackGenerator) -> AttackGenerator:
+            if name in self._entries:
+                raise ConfigError(
+                    f"attack pattern {name!r} is already registered "
+                    f"(by {self._entries[name].generator!r})"
+                )
+            self._entries[name] = RegisteredAttack(
+                name=name,
+                generator=generator,
+                summary=summary,
+                params=_introspect_params(generator),
+                rows=rows,
+            )
+            return generator
+
+        return decorator
+
+    def entry(self, name: str) -> RegisteredAttack:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "(none)"
+            raise ReproError(
+                f"unknown attack pattern {name!r}; registered patterns: "
+                f"{known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def entries(self) -> tuple[RegisteredAttack, ...]:
+        return tuple(self._entries[name] for name in self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide registry every un-scoped resolution consults.
+REGISTRY = AttackRegistry()
+
+#: Module-level decorator bound to the global registry (the public API).
+register_attack = REGISTRY.register
+
+
+def registered_attacks() -> tuple[RegisteredAttack, ...]:
+    """All globally registered attack patterns, sorted by name."""
+    return REGISTRY.entries()
+
+
+def resolve_attack(
+    attack: "AttackSpec | str",
+    registry: AttackRegistry | None = None,
+) -> AttackSpec:
+    """Normalize any attack designator to a validated :class:`AttackSpec`.
+
+    Accepts a spec or a string in the ``name[:k=v,...]`` CLI syntax.
+    """
+    if isinstance(attack, AttackSpec):
+        spec = attack
+    elif isinstance(attack, str):
+        spec = AttackSpec.from_string(attack)
+    else:
+        raise ConfigError(
+            f"cannot resolve {attack!r} to an attack pattern; pass an "
+            "AttackSpec or a 'name:key=value' string"
+        )
+    spec.validate(registry)
+    return spec
+
+
+def build_attack_trace(
+    attack: "AttackSpec | str",
+    n_entries: int,
+    org: DRAMOrganization | None = None,
+    seed: int = 0,
+    registry: AttackRegistry | None = None,
+) -> "Trace":
+    """Generate the pattern's trace: validated, deterministic, seeded."""
+    spec = resolve_attack(attack, registry)
+    if n_entries < 1:
+        raise ConfigError(f"n_entries must be >= 1, got {n_entries}")
+    entry = (registry or REGISTRY).entry(spec.name)
+    org = org or DRAMOrganization()
+    return entry.generator(org, n_entries, seed, **spec.params_dict)
+
+
+def attack_rows(
+    attack: "AttackSpec | str",
+    org: DRAMOrganization | None = None,
+    seed: int = 0,
+    registry: AttackRegistry | None = None,
+) -> list[int]:
+    """The pattern's per-bank aggressor row indices (bandwidth schedule).
+
+    Raises for trace-only patterns that declare no ``rows`` callable.
+    """
+    spec = resolve_attack(attack, registry)
+    entry = (registry or REGISTRY).entry(spec.name)
+    if entry.rows is None:
+        raise ReproError(
+            f"attack pattern {spec.name!r} defines no bandwidth schedule "
+            "(register it with rows=... to drive the pool attacker)"
+        )
+    org = org or DRAMOrganization()
+    rows = list(entry.rows(org, seed, entry.full_params(spec.params_dict)))
+    if not rows:
+        raise ReproError(
+            f"attack pattern {spec.label!r} produced an empty row pool"
+        )
+    for row in rows:
+        if not 0 <= row < org.rows_per_bank:
+            raise ConfigError(
+                f"attack pattern {spec.label!r} row {row} outside "
+                f"[0, {org.rows_per_bank})"
+            )
+    return rows
+
+
+def bandwidth_targets(
+    attack: "AttackSpec | str",
+    org: DRAMOrganization,
+    attack_ranks: int = 1,
+    seed: int = 0,
+    registry: AttackRegistry | None = None,
+) -> list[list[int]]:
+    """Per-bank physical-address pools for the closed-loop attacker.
+
+    Banks are enumerated in flat-bank order over the first
+    ``attack_ranks`` ranks — the exact iteration order
+    :func:`~repro.sim.bandwidth.run_bandwidth_attack` uses for its
+    default pool, so swapping in a registry schedule changes only the
+    rows, never the bank walk.
+    """
+    rows = attack_rows(attack, org, seed, registry)
+    mapper = AddressMapper(org)
+    ranks_to_attack = min(attack_ranks, org.channels * org.ranks)
+    targets: list[list[int]] = []
+    for flat in range(ranks_to_attack * org.banks_per_rank):
+        channel, rank, bankgroup, bank = flat_bank_coords(flat, org)
+        targets.append([
+            mapper.compose(
+                row=row,
+                column=0,
+                channel=channel,
+                rank=rank,
+                bankgroup=bankgroup,
+                bank=bank,
+            )
+            for row in rows
+        ])
+    return targets
+
+
+@dataclass(frozen=True)
+class AttackWorkload(WorkloadSpec):
+    """An attack pattern wearing the workload interface.
+
+    Carries its :class:`AttackSpec` and overrides trace generation via
+    :meth:`build_trace`, which the synthetic generator's single dispatch
+    point honours — so attack patterns flow through both simulation
+    engines, the trace memo, job pickling and the workload fingerprint
+    (and hence cache keys) exactly like ordinary workloads.  The
+    statistical fields are nominal descriptors only (the trace is built
+    by the pattern, not drawn from them); ``acts_pki`` is set high so
+    intensity-based classifications file attacks as memory-intensive.
+    """
+
+    #: Sentinel default so the dataclass field order stays legal; a real
+    #: spec is required (``attack_workload`` always supplies one).
+    attack: AttackSpec = field(default=AttackSpec("unresolved-attack"))
+
+    def build_trace(
+        self, n_entries: int, org: DRAMOrganization, seed: int
+    ) -> "Trace":
+        return build_attack_trace(self.attack, n_entries, org, seed)
+
+
+def attack_workload(
+    attack: "AttackSpec | str",
+    registry: AttackRegistry | None = None,
+) -> AttackWorkload:
+    """Wrap a validated attack pattern as a sweepable workload.
+
+    The workload's name is the spec's canonical label (e.g.
+    ``"decoy:reads_per_trefi=4"``), so sweep identifiers, progress lines
+    and result tables distinguish patterns by their parameters.
+    """
+    spec = resolve_attack(attack, registry)
+    return AttackWorkload(
+        name=spec.label,
+        suite="attack",
+        acts_pki=1000.0,
+        row_burst=1.0,
+        footprint_mb=1.0,
+        zipf_alpha=0.0,
+        write_fraction=0.0,
+        attack=spec,
+    )

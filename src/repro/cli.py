@@ -3,9 +3,11 @@
 Usage::
 
     python -m repro security          # Figures 6-8, 13: analytical bounds
-    python -m repro attacks           # Figures 2, 3, 23: Panopticon attacks
+    python -m repro panopticon        # Figures 2, 3, 23: Panopticon attacks
     python -m repro perf 429.mcf ...  # Figure 14/15-style variant sweep
     python -m repro sweep 429.mcf ... # orchestrated sweep: --jobs/--backend
+    python -m repro attacks           # list the registered attack patterns
+    python -m repro hunt              # worst-pattern search per defense
     python -m repro defenses          # list the registered defenses
     python -m repro backends          # list the registered sweep backends
     python -m repro engines           # list the registered sim engines
@@ -68,6 +70,27 @@ def _cmd_security(args: argparse.Namespace) -> int:
 
 
 def _cmd_attacks(args: argparse.Namespace) -> int:
+    from repro.attacks import registered_attacks
+
+    rows = [
+        [
+            entry.name,
+            ", ".join(p.human for p in entry.params) or "-",
+            "yes" if entry.rows is not None else "",
+            entry.summary,
+        ]
+        for entry in registered_attacks()
+    ]
+    print(render_table(
+        "Registered attack patterns (select with --attacks "
+        "name:key=value,...)",
+        ["name", "parameters", "bandwidth", "summary"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_panopticon(args: argparse.Namespace) -> int:
     from repro.security import figure2_series, figure3_series, figure23_series
 
     fig2 = figure2_series(queue_sizes=(4, 8, 16), t_bits=(6, 8, 10))
@@ -118,6 +141,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     config = default_config().with_prac(n_bo=args.nbo_value, n_mit=args.n_mit,
                                         abo_delay=None)
+    if not args.workloads and not args.attacks:
+        raise ReproError(
+            "a sweep needs workloads and/or --attacks patterns"
+        )
     if args.defenses:
         defenses = tuple(resolve_defense(d) for d in args.defenses)
     else:
@@ -129,6 +156,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         n_entries=args.entries,
         seed=args.seed,
         engine=args.engine,
+        attacks=tuple(args.attacks or ()),
     )
     store = None if args.no_cache else ResultStore(args.cache_dir)
     progress = None if args.quiet else stderr_progress
@@ -159,6 +187,63 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"sweep trace {sweep.trace_path}")
     if args.print_digest:
         print(f"aggregate sha256: {_sweep_digest(sweep)}")
+    return 0
+
+
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.attacks.hunt import DEFAULT_PATTERNS, run_hunt
+    from repro.exp import ResultStore, stderr_progress
+    from repro.params import default_config
+
+    config = default_config().with_prac(n_bo=args.nbo_value, n_mit=args.n_mit,
+                                        abo_delay=None)
+    defenses = tuple(args.defenses) if args.defenses else ("qprac",)
+    patterns = tuple(args.attacks) if args.attacks else DEFAULT_PATTERNS
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    progress = None if args.quiet else stderr_progress
+    hunt = run_hunt(
+        defenses,
+        patterns=patterns,
+        config=config,
+        n_entries=args.entries,
+        seed=args.seed,
+        engine=args.engine,
+        store=store,
+        backend=args.backend,
+        jobs=args.jobs,
+        progress=progress,
+    )
+    rows = []
+    for defense in sorted(hunt.rankings):
+        for rank, score in enumerate(hunt.rankings[defense], start=1):
+            rows.append([
+                defense, rank, score.pattern,
+                round(score.alerts_per_trefi, 3),
+                round(score.slowdown_pct, 2),
+                score.psq_high_water,
+            ])
+    print(render_table(
+        f"Worst-pattern search ({len(patterns)} patterns, "
+        f"N_BO={args.nbo_value}, PRAC-{args.n_mit}, "
+        f"{args.entries} accesses/core, engine={args.engine})",
+        ["defense", "rank", "pattern", "alerts/tREFI", "slowdown %",
+         "psq high-water"],
+        rows,
+    ))
+    for defense in sorted(hunt.rankings):
+        worst = hunt.worst(defense)
+        print(f"worst vs {defense}: {worst.pattern} "
+              f"({worst.alerts_per_trefi:.3f} alerts/tREFI, "
+              f"{worst.slowdown_pct:.2f}% slowdown)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(hunt.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.print_digest:
+        print(f"report sha256: {hunt.digest()}")
     return 0
 
 
@@ -493,8 +578,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nbo", type=int, nargs="*", default=None)
     p.set_defaults(func=_cmd_security)
 
-    p = sub.add_parser("attacks", help="Panopticon attacks (Figs 2/3/23)")
+    p = sub.add_parser(
+        "attacks",
+        help="list registered attack patterns and their parameters",
+    )
     p.set_defaults(func=_cmd_attacks)
+
+    p = sub.add_parser("panopticon", help="Panopticon attacks (Figs 2/3/23)")
+    p.set_defaults(func=_cmd_panopticon)
 
     p = sub.add_parser("perf", help="variant sweep on workloads (Figs 14/15)")
     p.add_argument("workloads", nargs="+")
@@ -513,13 +604,19 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment orchestrator: parallel with --jobs, resumable via "
         "the content-addressed result cache.",
     )
-    p.add_argument("workloads", nargs="+")
+    p.add_argument("workloads", nargs="*",
+                   help="workload names; may be empty when --attacks "
+                   "supplies the grid")
     p.add_argument("--defenses", "--variants", nargs="+", default=None,
                    dest="defenses", metavar="DEFENSE",
                    help="registered defenses, e.g. qprac "
                    "moat:proactive_every_n_refs=4 mithril:t_rh=256 "
                    "(default: the paper's five QPRAC variants; "
                    "see `repro defenses`)")
+    p.add_argument("--attacks", nargs="+", default=None, metavar="PATTERN",
+                   help="registered attack patterns swept like workloads, "
+                   "e.g. decoy:reads_per_trefi=4 hammer:banks=4 "
+                   "(see `repro attacks`)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (default 1 = in-process)")
     p.add_argument("--entries", type=int, default=5000)
@@ -552,6 +649,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress on stderr")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "hunt",
+        help="worst-pattern search: rank attack patterns per defense",
+        description="Sweep registered attack patterns across defenses "
+        "(through the cached, parallel sweep orchestrator) and rank each "
+        "defense's patterns by alerts/tREFI, slowdown and PSQ "
+        "high-water.  The report is deterministic: re-runs cache-hit "
+        "and rank identically.",
+    )
+    p.add_argument("--defenses", nargs="+", default=None, metavar="DEFENSE",
+                   help="defenses to hunt against (default: qprac; "
+                   "see `repro defenses`)")
+    p.add_argument("--attacks", nargs="+", default=None, metavar="PATTERN",
+                   help="patterns to try (default: one operating point "
+                   "per built-in family; see `repro attacks`)")
+    p.add_argument("--entries", type=int, default=4000)
+    p.add_argument("--nbo-value", type=int, default=32)
+    p.add_argument("--n-mit", type=int, default=1, choices=(1, 2, 4))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default 1 = in-process)")
+    p.add_argument("--backend", default="auto",
+                   help="execution backend (see `repro backends`)")
+    p.add_argument("--engine", default="event",
+                   help="simulation engine for every job (see `repro "
+                   "engines`)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                   "$REPRO_CACHE_DIR or ~/.cache/qprac-repro)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="simulate everything; do not read or write the cache")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the JSON hunt report to FILE (the CI "
+                   "artifact form)")
+    p.add_argument("--print-digest", action="store_true",
+                   help="print the sha256 of the report (equivalence "
+                   "checks across backends/caches)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress on stderr")
+    p.set_defaults(func=_cmd_hunt)
 
     p = sub.add_parser(
         "defenses",

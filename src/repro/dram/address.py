@@ -45,6 +45,25 @@ class DramAddress:
         return rank_index * per_rank + self.bankgroup * org.banks_per_group + self.bank
 
 
+def flat_bank_coords(flat_bank, org: DRAMOrganization):
+    """Inverse of :meth:`DramAddress.flat_bank`: split a flat bank index
+    into ``(channel, rank, bankgroup, bank)``.
+
+    The one canonical form of this arithmetic — attack generators, the
+    synthetic trace generator and reports all decode flat indices through
+    it, so the layout can never be re-derived inconsistently.  Accepts
+    plain ints or numpy integer arrays (the operators are the same).
+    """
+    per_rank = org.banks_per_rank
+    rank_index = flat_bank // per_rank
+    rem = flat_bank % per_rank
+    channel = rank_index // org.ranks
+    rank = rank_index % org.ranks
+    bankgroup = rem // org.banks_per_group
+    bank = rem % org.banks_per_group
+    return channel, rank, bankgroup, bank
+
+
 def _bits(value: int) -> int:
     """Number of address bits consumed by a power-of-two quantity."""
     if value < 1 or value & (value - 1):

@@ -21,6 +21,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.attacks import AttackSpec, bandwidth_targets, resolve_attack
 from repro.defenses import DefenseSpec, resolve_defense
 from repro.errors import ReproError
 from repro.exp.cache import ResultStore
@@ -56,10 +57,26 @@ class AttackJob:
     pool_rows_per_bank: int = 24
     attack_ranks: int = 1
     engine: EngineSpec = DEFAULT_ENGINE_SPEC
+    #: Registered attack pattern supplying the per-bank row schedule
+    #: (``None`` keeps the classic strided pool attacker).
+    attack: AttackSpec | None = None
+
+    @property
+    def pattern_label(self) -> str:
+        """The attack side of the job: the registered pattern's label,
+        or the classic pool attacker's parameters."""
+        if self.attack is not None:
+            return self.attack.label
+        return (
+            f"pool:ranks={self.attack_ranks},"
+            f"rows={self.pool_rows_per_bank}"
+        )
 
     @property
     def label(self) -> str:
-        return f"attack/{self.defense.label}"
+        """Progress/report label naming *both* sides of the run — two
+        jobs differing only in attack parameters must render apart."""
+        return f"attack[{self.pattern_label}]/{self.defense.label}"
 
     def cache_key(self) -> str:
         """Content address (same contract as :meth:`Job.cache_key`)."""
@@ -75,6 +92,8 @@ class AttackJob:
             "attack_ranks": self.attack_ranks,
             "engine": self.engine.to_dict(),
         }
+        if self.attack is not None:
+            identity["attack"] = self.attack.to_dict()
         return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
 
 
@@ -82,16 +101,27 @@ def attack_job(
     defense: DefenseSpec | MitigationVariant | str,
     config: SystemConfig | None = None,
     engine: EngineSpec | str | None = None,
+    attack: "AttackSpec | str | None" = None,
     **params,
 ) -> AttackJob:
     """Build an :class:`AttackJob`, applying the defense's QPRAC variant
-    to the configuration exactly as ``simulate_workload`` would."""
+    to the configuration exactly as ``simulate_workload`` would.
+
+    ``attack`` optionally names a registered pattern (validated here, so
+    a typo dies before any simulation) whose row schedule replaces the
+    classic strided pool.
+    """
     spec = resolve_defense(defense)
     config = config or default_config()
     if spec.variant is not None:
         config = config.with_variant(spec.variant)
-    return AttackJob(defense=spec, config=config,
-                     engine=resolve_engine(engine), **params)
+    return AttackJob(
+        defense=spec,
+        config=config,
+        engine=resolve_engine(engine),
+        attack=resolve_attack(attack) if attack is not None else None,
+        **params,
+    )
 
 
 def execute_attack_job(job: AttackJob) -> dict:
@@ -102,6 +132,11 @@ def execute_attack_job(job: AttackJob) -> dict:
             f"{job.engine.label!r} does not model the attacker's "
             "cycle-level Alert interplay"
         )
+    targets = None
+    if job.attack is not None:
+        targets = bandwidth_targets(
+            job.attack, job.config.org, attack_ranks=job.attack_ranks
+        )
     result = run_bandwidth_attack(
         job.config,
         defense_factory=job.defense.factory(),
@@ -109,6 +144,7 @@ def execute_attack_job(job: AttackJob) -> dict:
         warmup_ns=job.warmup_ns,
         pool_rows_per_bank=job.pool_rows_per_bank,
         attack_ranks=job.attack_ranks,
+        targets=targets,
     )
     return {
         "acts": result.acts,

@@ -35,7 +35,9 @@ from repro.workloads.synthetic import WorkloadSpec
 #: instead of a QPRAC variant name.
 #: v3: the serialized EngineSpec joins every job identity, so rows
 #: simulated by different engines can never collide.
-SCHEMA_VERSION = 3
+#: v4: attack-pattern jobs key their serialized AttackSpec, so rows of
+#: attack-keyed sweeps can never collide with plain workload rows.
+SCHEMA_VERSION = 4
 
 
 @lru_cache(maxsize=1)
@@ -94,8 +96,9 @@ def workload_fingerprint(spec: WorkloadSpec) -> dict:
 #: not invalidate cached simulation results.  Payload-layout changes are
 #: covered by :data:`SCHEMA_VERSION` instead.
 SIMULATION_SOURCES = (
-    "controller", "core", "cpu", "defenses", "dram", "mitigations", "sim",
-    "workloads", "engine.py", "errors.py", "params.py", "specs.py",
+    "attacks", "controller", "core", "cpu", "defenses", "dram",
+    "mitigations", "sim", "workloads", "engine.py", "errors.py",
+    "params.py", "specs.py",
 )
 
 

@@ -26,6 +26,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from repro.attacks import AttackSpec, attack_workload
 from repro.defenses import BASELINE_NAME, DefenseSpec, resolve_defense
 from repro.errors import ConfigError
 from repro.params import MitigationVariant, PRACParams, SystemConfig, default_config
@@ -124,7 +125,15 @@ class Job:
             "seed": self.seed,
             "engine": self.engine.to_dict(),
         }
+        attack = self.attack
+        if attack is not None:
+            identity["attack"] = attack.to_dict()
         return hashlib.sha256(canonical_json(identity).encode()).hexdigest()
+
+    @property
+    def attack(self) -> "AttackSpec | None":
+        """The attack pattern this job runs, if its workload carries one."""
+        return getattr(self.workload, "attack", None)
 
 
 @dataclass(frozen=True)
@@ -140,6 +149,15 @@ class SweepSpec:
         Defenses to run for every workload: :class:`DefenseSpec` values,
         registered-defense strings (``"moat:eth=8"``) or
         :class:`MitigationVariant` members, freely mixed.
+    attacks:
+        Registered attack patterns swept alongside the workloads:
+        :class:`~repro.attacks.AttackSpec` values or ``"name:k=v"``
+        strings.  Each resolves to an
+        :class:`~repro.attacks.AttackWorkload` appended after the
+        ordinary workloads, so patterns run under every defense (and the
+        baseline) exactly like workloads — same expansion order
+        contract, same caching, same aggregation.  A sweep may be
+        attacks-only (empty ``workloads``).
     overrides:
         PRAC parameter override sets; each dict is one grid axis value
         (``({},)`` — the default — runs the config as given).
@@ -167,15 +185,22 @@ class SweepSpec:
     n_entries: int = 20_000
     seed: int = 0
     engine: EngineSpec | str | None = DEFAULT_ENGINE_SPEC
+    attacks: tuple[AttackSpec | str, ...] = ()
 
     def __post_init__(self) -> None:
+        attack_workloads = tuple(
+            attack_workload(attack) for attack in self.attacks
+        )
+        object.__setattr__(
+            self, "attacks", tuple(w.attack for w in attack_workloads)
+        )
         object.__setattr__(
             self,
             "workloads",
             tuple(
                 w if isinstance(w, WorkloadSpec) else lookup_workload(w)
                 for w in self.workloads
-            ),
+            ) + attack_workloads,
         )
         object.__setattr__(
             self,
@@ -189,7 +214,9 @@ class SweepSpec:
             tuple(_normalize_overrides(o) for o in self.overrides),
         )
         if not self.workloads:
-            raise ConfigError("a sweep needs at least one workload")
+            raise ConfigError(
+                "a sweep needs at least one workload or attack pattern"
+            )
         names = [w.name for w in self.workloads]
         if len(set(names)) != len(names):
             dupes = sorted({n for n in names if names.count(n) > 1})

@@ -61,6 +61,7 @@ def run_bandwidth_attack(
     warmup_ns: float | None = None,
     pool_rows_per_bank: int = 24,
     attack_ranks: int = 1,
+    targets: list[list[int]] | None = None,
 ) -> BandwidthResult:
     """Closed-loop pool attack on every bank of ``attack_ranks`` ranks.
 
@@ -68,6 +69,12 @@ def run_bandwidth_attack(
     immediately enqueues the next.  Returns activations achieved within
     the measurement window (after ``warmup_ns``, which defaults to the
     time the pool needs to climb to N_BO plus margin).
+
+    ``targets`` optionally replaces the default strided pool with
+    explicit per-bank address pools (e.g. from
+    :func:`repro.attacks.bandwidth_targets`); ``pool_rows_per_bank`` and
+    ``attack_ranks`` only shape the default pool and the warm-up
+    estimate then.
     """
     config = config or default_config()
     factory = defense_factory or qprac_factory()
@@ -77,44 +84,51 @@ def run_bandwidth_attack(
     org = config.org
     row_stride = 2 * config.prac.blast_radius + 2
 
+    if targets is None:
+        ranks_to_attack = min(attack_ranks, org.channels * org.ranks)
+        targets = []
+        for rank_index in range(ranks_to_attack):
+            channel = rank_index // org.ranks
+            rank = rank_index % org.ranks
+            for bg in range(org.bankgroups):
+                for bank in range(org.banks_per_group):
+                    addrs = [
+                        mapper.compose(
+                            row=(i * row_stride) % org.rows_per_bank,
+                            column=0,
+                            channel=channel,
+                            rank=rank,
+                            bankgroup=bg,
+                            bank=bank,
+                        )
+                        for i in range(pool_rows_per_bank)
+                    ]
+                    targets.append(addrs)
+    if not targets or any(not addrs for addrs in targets):
+        raise ConfigError("attack targets must be non-empty per bank")
+
     if warmup_ns is None:
         # Pool climb time: each bank serves one ACT per (banks * tRRD) at
         # rank saturation; a pool row is visited once per pool rotation.
         banks_per_rank = org.banks_per_rank
         per_bank_act_ns = banks_per_rank * config.timing.t_rrd
+        deepest_pool = max(len(addrs) for addrs in targets)
         warmup_ns = (
-            1.5 * config.prac.n_bo * pool_rows_per_bank * per_bank_act_ns
+            1.5 * config.prac.n_bo * deepest_pool * per_bank_act_ns
         )
-
-    ranks_to_attack = min(attack_ranks, org.channels * org.ranks)
-    targets: list[list[int]] = []
-    for rank_index in range(ranks_to_attack):
-        channel = rank_index // org.ranks
-        rank = rank_index % org.ranks
-        for bg in range(org.bankgroups):
-            for bank in range(org.banks_per_group):
-                addrs = [
-                    mapper.compose(
-                        row=(i * row_stride) % org.rows_per_bank,
-                        column=0,
-                        channel=channel,
-                        rank=rank,
-                        bankgroup=bg,
-                        bank=bank,
-                    )
-                    for i in range(pool_rows_per_bank)
-                ]
-                targets.append(addrs)
 
     cursors = [0] * len(targets)
     end_ns = warmup_ns + measure_ns
 
     def make_pump(slot: int):
+        pool = targets[slot]
+        pool_len = len(pool)
+
         def pump(now: float) -> None:
             if now >= end_ns:
                 return
             cursors[slot] += 1
-            addr = targets[slot][cursors[slot] % pool_rows_per_bank]
+            addr = pool[cursors[slot] % pool_len]
             memory.enqueue(addr, False, now, callback=pump)
 
         return pump

@@ -57,6 +57,22 @@ def _resolve_spec(workload: str | WorkloadSpec) -> WorkloadSpec:
     return lookup_workload(workload)
 
 
+def _resolve_workload_or_attack(workload, attack) -> WorkloadSpec:
+    """Exactly one of ``workload``/``attack`` selects the trace source.
+
+    ``attack`` resolves through the attack registry to an
+    :class:`~repro.attacks.AttackWorkload`, which the engines execute
+    through the ordinary workload path.
+    """
+    if (workload is None) == (attack is None):
+        raise ConfigError("pass exactly one of workload= or attack=")
+    if attack is not None:
+        from repro.attacks import attack_workload
+
+        return attack_workload(attack)
+    return _resolve_spec(workload)
+
+
 def build_system(
     workload: str | WorkloadSpec,
     config: SystemConfig | None = None,
@@ -80,7 +96,7 @@ def build_system(
 
 
 def simulate_workload(
-    workload: str | WorkloadSpec,
+    workload: str | WorkloadSpec | None = None,
     config: SystemConfig | None = None,
     defense: DefenseSpec | MitigationVariant | str | None = None,
     variant: MitigationVariant | None = None,
@@ -89,8 +105,9 @@ def simulate_workload(
     seed: int = 0,
     engine: EngineSpec | str | None = None,
     telemetry=None,
+    attack=None,
 ) -> SystemResult:
-    """Simulate one workload under one defense configuration.
+    """Simulate one workload — or one attack pattern — under one defense.
 
     ``defense`` selects any registered defense — a
     :class:`~repro.defenses.DefenseSpec`, a ``"name:key=value"`` string,
@@ -99,6 +116,12 @@ def simulate_workload(
     accepts a raw per-bank factory for unregistered designs; results from
     registry-built factories are still labeled with their spec's name
     (``"custom"`` only when the factory is truly anonymous).
+
+    ``attack`` names a registered attack pattern (an
+    :class:`~repro.attacks.AttackSpec` or ``"name:k=v"`` string) to run
+    *instead of* a workload: the pattern's deterministic trace flows
+    through the selected engine exactly like a workload trace.  Exactly
+    one of ``workload``/``attack`` must be given.
 
     ``engine`` selects the simulation engine by
     :class:`~repro.sim.engines.EngineSpec` (or its string form); ``None``
@@ -140,7 +163,7 @@ def simulate_workload(
     if telemetry is not None and getattr(telemetry, "enabled", False):
         kwargs["telemetry"] = telemetry
     return sim.simulate(
-        _resolve_spec(workload),
+        _resolve_workload_or_attack(workload, attack),
         config,
         factory,
         n_entries=n_entries,

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cpu.trace import Trace
-from repro.dram.address import AddressMapper
+from repro.dram.address import AddressMapper, flat_bank_coords
 from repro.errors import ConfigError
 from repro.params import DRAMOrganization
 
@@ -43,15 +43,9 @@ def hammer_trace(
     if rows_per_bank < 2:
         raise ConfigError("need >= 2 rows per bank to defeat the row buffer")
     mapper = AddressMapper(org)
-    per_rank = org.banks_per_rank
     bank_addrs: list[list[int]] = []
     for flat in range(banks):
-        channel = flat // (org.ranks * per_rank)
-        rem = flat % (org.ranks * per_rank)
-        rank = rem // per_rank
-        rem %= per_rank
-        bg = rem // org.banks_per_group
-        bank = rem % org.banks_per_group
+        channel, rank, bg, bank = flat_bank_coords(flat, org)
         rows = [
             mapper.compose(
                 row=(i * row_stride) % org.rows_per_bank,

@@ -28,7 +28,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.cpu.trace import Trace
-from repro.dram.address import AddressMapper
+from repro.dram.address import AddressMapper, flat_bank_coords
 from repro.errors import ConfigError
 from repro.params import DRAMOrganization
 
@@ -107,6 +107,12 @@ def generate_trace(
     workload under many defenses, and each re-run would otherwise redraw
     an identical trace.  Traces are treated as immutable by every
     consumer (cores copy the columns out), which makes sharing safe.
+
+    Specs that carry their own trace builder — attack-pattern workloads
+    from :mod:`repro.attacks` expose ``build_trace(n_entries, org,
+    seed)`` — bypass the synthetic generator entirely; this is the one
+    dispatch point, so both simulation engines execute attack patterns
+    through the exact code path they use for ordinary workloads.
     """
     if n_entries < 1:
         raise ConfigError(f"n_entries must be >= 1, got {n_entries}")
@@ -121,6 +127,9 @@ def _generate_trace_cached(
     org: DRAMOrganization,
     seed: int,
 ) -> Trace:
+    build = getattr(spec, "build_trace", None)
+    if build is not None:
+        return build(n_entries, org, seed)
     mapper = AddressMapper(org)
     rng = np.random.default_rng(_seed_for(spec.name, seed))
     footprint_rows = spec.footprint_rows(org)
@@ -164,9 +173,6 @@ def _generate_trace_cached(
     # covers n_entries, compute every visit's base address with one array
     # encode, and expand bursts with repeat/arange.  Bit-identical to the
     # per-visit compose() loop this replaces, at array speed.
-    ranks = org.ranks
-    bankgroups = org.bankgroups
-    banks_per_group = org.banks_per_group
     cum = np.cumsum(bursts)
     n_visits = int(np.searchsorted(cum, accesses_needed, side="left")) + 1
     takes = bursts[:n_visits].astype(np.int64)
@@ -174,13 +180,7 @@ def _generate_trace_cached(
     takes[-1] = accesses_needed - consumed_before_last
 
     flat = banks_v[:n_visits]
-    per_rank = bankgroups * banks_per_group
-    channel_v = flat // (ranks * per_rank)
-    rem = flat % (ranks * per_rank)
-    rank_v = rem // per_rank
-    rem = rem % per_rank
-    bg_v = rem // banks_per_group
-    bank_v = rem % banks_per_group
+    channel_v, rank_v, bg_v, bank_v = flat_bank_coords(flat, org)
     bases = mapper.encode_arrays(
         row=rows_v[:n_visits],
         column=np.zeros(n_visits, dtype=np.int64),

@@ -14,8 +14,8 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for cmd in ("security", "attacks", "bandwidth", "storage",
-                    "workloads", "defenses"):
+        for cmd in ("security", "attacks", "panopticon", "bandwidth",
+                    "storage", "workloads", "defenses", "hunt"):
             args = parser.parse_args([cmd])
             assert args.command == cmd
 
@@ -33,9 +33,28 @@ class TestParser:
         assert args.nbo_value == 64
         assert args.n_mit == 2
 
-    def test_sweep_requires_workloads(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sweep"])
+    def test_sweep_requires_workloads_or_attacks(self, capsys):
+        # Workloads are optional at parse time (attack-only sweeps are
+        # legal), so the empty grid is a runtime error.
+        assert main(["sweep"]) == 1
+        err = capsys.readouterr().err
+        assert "workloads and/or --attacks" in err
+
+    def test_sweep_attack_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--attacks", "decoy:reads_per_trefi=4",
+             "hammer:banks=4", "--defenses", "qprac"]
+        )
+        assert args.workloads == []
+        assert args.attacks == ["decoy:reads_per_trefi=4", "hammer:banks=4"]
+
+    def test_hunt_defaults(self):
+        args = build_parser().parse_args(["hunt"])
+        # Defaults resolve at run time: qprac + the registry's default
+        # pattern grid.
+        assert args.defenses is None
+        assert args.attacks is None
+        assert args.entries == 4000
 
     def test_sweep_options(self):
         args = build_parser().parse_args(
@@ -104,8 +123,16 @@ class TestCommands:
         assert "Secure T_RH" in out
         assert "PRAC-1" in out
 
-    def test_attacks(self, capsys):
+    def test_attacks_lists_registry(self, capsys):
         assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("hammer", "double-sided", "many-sided", "decoy",
+                     "row-list"):
+            assert name in out
+        assert "reads_per_trefi" in out
+
+    def test_panopticon(self, capsys):
+        assert main(["panopticon"]) == 0
         out = capsys.readouterr().out
         assert "Toggle+Forget" in out
         assert "Fill+Escape" in out
@@ -204,6 +231,46 @@ class TestCommands:
             assert len(line) == 1
             digests.append(line[0])
         assert digests[0] == digests[1]
+
+    def test_sweep_with_attack_patterns(self, capsys, tmp_path):
+        argv = ["sweep", "--attacks", "decoy:reads_per_trefi=4",
+                "--defenses", "qprac", "--entries", "300",
+                "--cache-dir", str(tmp_path), "--quiet", "--print-digest"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "decoy:reads_per_trefi=4" in out
+        digest = [l for l in out.splitlines()
+                  if l.startswith("aggregate sha256: ")]
+        assert len(digest) == 1
+        # Attack-keyed rows cache like any other job.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated" in out and "2 from cache" in out
+        assert digest[0] in out
+
+    def test_sweep_rejects_unknown_attack(self, capsys):
+        assert main(
+            ["sweep", "--attacks", "nonsense", "--defenses", "qprac"]
+        ) == 1
+        assert "unknown attack pattern" in capsys.readouterr().err
+
+    def test_hunt_tiny_run(self, capsys, tmp_path):
+        out_file = tmp_path / "hunt.json"
+        argv = ["hunt", "--defenses", "qprac", "--attacks",
+                "hammer:banks=4", "decoy:reads_per_trefi=4",
+                "--entries", "300", "--cache-dir", str(tmp_path / "cache"),
+                "--quiet", "--out", str(out_file), "--print-digest"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "hammer:banks=4" in out and "decoy:reads_per_trefi=4" in out
+        assert "worst vs qprac" in out
+        digest = [l for l in out.splitlines()
+                  if l.startswith("report sha256: ")]
+        assert len(digest) == 1
+        assert out_file.exists()
+        # The cached replay reports the identical ranking digest.
+        assert main(argv) == 0
+        assert digest[0] in capsys.readouterr().out
 
     def test_sweep_no_cache(self, capsys, tmp_path):
         assert main(
