@@ -16,6 +16,7 @@ Usage::
     python -m repro cache gc          # compact the result cache
     python -m repro bench             # simulator throughput benchmark
     python -m repro stats             # summarize a sweep trace
+    python -m repro fleet status      # per-host fleet supervision counters
     python -m repro trace             # dump per-request latency samples
     python -m repro bandwidth         # Figure 19: performance attacks
     python -m repro storage           # Table IV: tracker SRAM
@@ -160,6 +161,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     store = None if args.no_cache else ResultStore(args.cache_dir)
     progress = None if args.quiet else stderr_progress
+    if args.faults is not None:
+        # The remote-fleet backend builds its fault plan from this
+        # environment variable at construction; its transport strips
+        # it from worker environments so only the coordinator injects.
+        import os
+
+        from repro.fleet.faults import FLEET_FAULTS_ENV, FleetFaultPlan
+
+        FleetFaultPlan.parse(args.faults)  # fail fast on a bad spec
+        os.environ[FLEET_FAULTS_ENV] = args.faults
     sweep = run_sweep(spec, jobs=args.jobs, store=store, progress=progress,
                       backend=args.backend, hosts=args.hosts,
                       telemetry=args.trace)
@@ -272,10 +283,19 @@ def _cmd_backends(args: argparse.Namespace) -> int:
 
 
 def _cmd_worker(args: argparse.Namespace) -> int:
-    from repro.exp.worker import run_worker
+    import json
 
+    from repro.exp.worker import probe_payload, run_worker
+
+    if args.probe:
+        print(json.dumps(probe_payload(), sort_keys=True))
+        return 0
+    if not args.jobs_file or not args.out:
+        raise ReproError("worker needs --jobs-file and --out (or --probe)")
     run_worker(args.jobs_file, args.out,
-               progress=None if args.quiet else stderr_progress_line)
+               progress=None if args.quiet else stderr_progress_line,
+               heartbeat_path=args.heartbeat_file,
+               heartbeat_s=args.heartbeat_s)
     return 0
 
 
@@ -506,6 +526,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.obs.stats import render_fleet_status
+
+    resolved = _resolve_trace(args)
+    if resolved is None:
+        return 1
+    path, trace = resolved
+    print(render_fleet_status(trace, path))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.stats import render_trace
 
@@ -630,11 +661,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="simulate everything; do not read or write the cache")
     p.add_argument("--backend", default="auto",
                    help="execution backend (see `repro backends`): serial, "
-                   "pool, local-queue, subprocess-ssh; default auto = "
-                   "serial for --jobs 1, pool otherwise")
+                   "pool, local-queue, subprocess-ssh, remote-fleet; "
+                   "default auto = serial for --jobs 1, pool otherwise")
     p.add_argument("--hosts", nargs="+", default=None, metavar="HOST",
-                   help="host list for --backend subprocess-ssh "
-                   "('local' spawns a plain subprocess)")
+                   help="host list for --backend subprocess-ssh / "
+                   "remote-fleet ('local' spawns a plain subprocess)")
+    p.add_argument("--faults", default=None, metavar="PLAN",
+                   help="chaos-injection plan for --backend remote-fleet, "
+                   "e.g. 'kill-worker;drop-host:host=local,times=2' "
+                   "(see repro.fleet.faults; equivalent to setting "
+                   "$REPRO_FLEET_FAULTS)")
     p.add_argument("--engine", default="event",
                    help="simulation engine for every job (see `repro "
                    "engines`); cached rows are engine-keyed, so event "
@@ -711,16 +747,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "worker",
-        help="execute a serialized job batch (subprocess-ssh backend)",
+        help="execute a serialized job batch (fleet/ssh backends)",
         description="Run every task in a pickled jobs file and stream "
-        "{'index', 'payload'} JSONL rows to --out, flushing per task. "
-        "Spawned by the subprocess-ssh backend; also usable by external "
-        "schedulers.",
+        "{'index', 'payload'} / {'index', 'error'} JSONL rows to --out, "
+        "flushing per task.  Spawned by the subprocess-ssh and "
+        "remote-fleet backends; also usable by external schedulers.  "
+        "--probe prints host capabilities (python, code salt, cpus) as "
+        "JSON and exits.",
     )
-    p.add_argument("--jobs-file", required=True,
+    p.add_argument("--jobs-file", default=None,
                    help="pickle file written by repro.exp.worker.write_jobs_file")
-    p.add_argument("--out", required=True,
+    p.add_argument("--out", default=None,
                    help="JSONL output path")
+    p.add_argument("--probe", action="store_true",
+                   help="print the host-capability payload and exit")
+    p.add_argument("--heartbeat-file", default=None,
+                   help="lease file touched every --heartbeat-s while "
+                   "the worker runs (fleet supervision)")
+    p.add_argument("--heartbeat-s", type=float, default=0.5,
+                   help="heartbeat renewal interval (default 0.5)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-task progress on stderr")
     p.set_defaults(func=_cmd_worker)
@@ -800,6 +845,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result cache directory (default: "
                    "$REPRO_CACHE_DIR or ~/.cache/qprac-repro)")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "fleet",
+        help="fleet supervision counters from a sweep trace",
+        description="Print the per-host supervision table (status, jobs, "
+        "dispatches, failures, quarantines) and fleet-wide counters "
+        "(retries, migrations, fallback, fired faults) recorded by a "
+        "remote-fleet or subprocess-ssh sweep.",
+    )
+    p.add_argument("action", choices=("status",))
+    p.add_argument("selector", nargs="?", default=None,
+                   help="trace file path, sweep-id prefix, or 'latest' "
+                   "(default: the most recent trace)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                   "$REPRO_CACHE_DIR or ~/.cache/qprac-repro)")
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "trace",

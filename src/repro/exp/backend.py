@@ -34,7 +34,13 @@ Shipped backends:
     full serialization boundary — job pickling, result JSONL, process
     isolation — that a real cluster backend needs.  Remote hosts are
     assumed to share the filesystem (NFS-style) and have the package
-    importable.
+    importable.  Each worker runs under a deadline and a bounded retry
+    budget; typed error rows fail fast and missing rows are retried.
+``remote-fleet``
+    The supervised fleet tier (:mod:`repro.fleet.coordinator`,
+    registered lazily): capability probing, heartbeat leases, retry
+    with migration, host quarantine, chaos injection, and graceful
+    fallback to ``pool`` when every host is gone.
 
 The equivalence contract: every backend calls the same ``run_one`` on
 the same task objects and returns the same canonical dict payloads, and
@@ -69,6 +75,11 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.errors import ReproError
+from repro.fleet.policy import (
+    DEFAULT_LEASE_POLICY,
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+)
 
 #: One pending unit of work: (position in the sweep, picklable task).
 Task = tuple[int, object]
@@ -127,8 +138,21 @@ def register_backend(name: str):
     return deco
 
 
+def _ensure_plugin_backends() -> None:
+    """Import backend modules that live outside this file.
+
+    ``remote-fleet`` lives in :mod:`repro.fleet.coordinator`, which
+    imports *this* module for :class:`SweepBackend` — so it cannot be
+    imported at the top of this file.  Importing it here, on first
+    lookup, keeps the graph acyclic while every resolver still sees
+    the full registry.
+    """
+    import repro.fleet.coordinator  # noqa: F401  (registers remote-fleet)
+
+
 def registered_backends() -> tuple[str, ...]:
     """Registered backend names, sorted."""
+    _ensure_plugin_backends()
     return tuple(sorted(_BACKENDS))
 
 
@@ -155,6 +179,7 @@ def resolve_backend(
         return backend
     if backend == "auto":
         backend = "serial" if jobs <= 1 else "pool"
+    _ensure_plugin_backends()
     cls = _BACKENDS.get(backend)
     if cls is None:
         known = ", ".join(registered_backends())
@@ -321,9 +346,9 @@ class LocalQueueBackend(SweepBackend):
         self,
         jobs: int = 1,
         hosts: Sequence[str] | None = None,
-        heartbeat_s: float = 0.5,
-        stall_timeout_s: float | None = 300.0,
-        max_retries: int = 2,
+        heartbeat_s: float | None = None,
+        stall_timeout_s: float | None = DEFAULT_LEASE_POLICY.lease_timeout_s,
+        max_retries: int | None = None,
     ) -> None:
         del hosts
         if jobs < 1:
@@ -331,9 +356,18 @@ class LocalQueueBackend(SweepBackend):
                 f"local-queue backend needs jobs >= 1, got {jobs}"
             )
         self.jobs = jobs
-        self.heartbeat_s = heartbeat_s
+        # Supervision knobs default to the fleet-wide shared policies
+        # (repro.fleet.policy) so every supervised backend agrees on
+        # what "alive" and "give up" mean.
+        self.heartbeat_s = (
+            DEFAULT_LEASE_POLICY.heartbeat_s
+            if heartbeat_s is None else heartbeat_s
+        )
         self.stall_timeout_s = stall_timeout_s
-        self.max_retries = max_retries
+        self.max_retries = (
+            DEFAULT_RETRY_POLICY.max_retries
+            if max_retries is None else max_retries
+        )
 
     def execute(
         self, tasks: Sequence[Task], run_one: RunOneFn, emit: EmitFn
@@ -516,6 +550,16 @@ class SubprocessSSHBackend(SweepBackend):
     an importable ``repro`` package on the far side — exactly the
     contract a real cluster scheduler shim would need, which is the
     point: the serialization boundary is identical either way.
+
+    Supervision is deliberately minimal next to ``remote-fleet`` (no
+    heartbeats, no migration — a host's remainder retries on the same
+    host), but failure still has structure: each worker invocation runs
+    under a deadline scaled to its batch, a typed error row in the
+    stream fails the sweep immediately with the host, job index and
+    traceback attached (deterministic failures never retry), and a
+    worker that dies mid-stream keeps its parsed prefix while only the
+    missing tasks are retried, bounded by the shared
+    :class:`~repro.fleet.policy.RetryPolicy`.
     """
 
     def __init__(
@@ -523,6 +567,8 @@ class SubprocessSSHBackend(SweepBackend):
         jobs: int = 1,
         hosts: Sequence[str] | None = None,
         remote_python: str = "python3",
+        retry: RetryPolicy | None = None,
+        deadline_s: float | None = DEFAULT_LEASE_POLICY.job_deadline_s,
     ) -> None:
         del jobs
         if not hosts:
@@ -532,6 +578,10 @@ class SubprocessSSHBackend(SweepBackend):
             )
         self.hosts = tuple(hosts)
         self.remote_python = remote_python
+        self.retry = retry or DEFAULT_RETRY_POLICY
+        #: Per-*task* wall-clock allowance; a worker invocation gets
+        #: ``deadline_s * len(batch)`` before it is killed and retried.
+        self.deadline_s = deadline_s
 
     def _command(self, host: str, jobs_file: Path, out_file: Path) -> list[str]:
         worker_args = [
@@ -550,13 +600,12 @@ class SubprocessSSHBackend(SweepBackend):
     def execute(
         self, tasks: Sequence[Task], run_one: RunOneFn, emit: EmitFn
     ) -> None:
-        from repro.exp.worker import read_results_file, write_jobs_file
+        from repro.exp.worker import read_worker_rows, write_jobs_file
 
         if not tasks:
             self.metrics = {"hosts": {}, "tasks": 0, "wall_s": 0.0}
             return
         started = time.perf_counter()
-        host_metrics: dict[str, dict] = {}
         hosts = self.hosts[: len(tasks)]
         env = dict(os.environ)
         package_parent = str(Path(__file__).resolve().parents[2])
@@ -565,54 +614,119 @@ class SubprocessSSHBackend(SweepBackend):
             f"{package_parent}{os.pathsep}{existing}"
             if existing else package_parent
         )
+        expected = {index for index, _obj in tasks}
+        seen: set[int] = set()
+        # Per-slot state; slot ids stay unique when a host repeats
+        # ("local", "local") so metrics and errors name one worker.
+        addr_counts: dict[str, int] = {}
+        slots = []
+        for host, piece in zip(hosts, _balanced_slices(list(tasks), len(hosts))):
+            n = addr_counts.get(host, 0)
+            addr_counts[host] = n + 1
+            slots.append({
+                "host": host,
+                "hid": host if n == 0 else f"{host}@{n}",
+                "piece": list(piece),
+                "size": len(piece),
+                "failures": 0,
+                "retried": 0,
+            })
+        retries_total = 0
         with tempfile.TemporaryDirectory(prefix="repro-ssh-") as tmp:
             tmpdir = Path(tmp)
-            slices = _balanced_slices(list(tasks), len(hosts))
-            launched = []
-            for which, (host, piece) in enumerate(zip(hosts, slices)):
-                jobs_file = tmpdir / f"jobs-{which}.pkl"
-                out_file = tmpdir / f"out-{which}.jsonl"
-                write_jobs_file(jobs_file, run_one, piece)
-                proc = subprocess.Popen(
-                    self._command(host, jobs_file, out_file),
-                    stdout=subprocess.PIPE,
-                    stderr=subprocess.PIPE,
-                    env=env,
-                )
-                launched.append((host, piece, out_file, proc))
-            expected = {index for index, _obj in tasks}
-            seen: set[int] = set()
-            for host, piece, out_file, proc in launched:
-                host_started = time.perf_counter()
-                _stdout, stderr = proc.communicate()
-                host_metrics[host] = {
-                    "tasks": len(piece),
-                    # Wall time until this host's worker finished, from
-                    # backend start (hosts run concurrently; the gather
-                    # loop joins them in launch order).
-                    "done_after_s": (
-                        time.perf_counter() - started
-                    ),
-                    "drain_s": time.perf_counter() - host_started,
-                }
-                if proc.returncode != 0:
-                    tail = stderr.decode(errors="replace").strip()[-2000:]
-                    raise ReproError(
-                        f"worker on host {host!r} exited with status "
-                        f"{proc.returncode}: {tail}"
+            generation = 0
+            while any(slot["piece"] for slot in slots):
+                generation += 1
+                launched = []
+                for which, slot in enumerate(slots):
+                    if not slot["piece"]:
+                        continue
+                    jobs_file = tmpdir / f"jobs-{which}-g{generation}.pkl"
+                    out_file = tmpdir / f"out-{which}-g{generation}.jsonl"
+                    write_jobs_file(jobs_file, run_one, slot["piece"])
+                    proc = subprocess.Popen(
+                        self._command(slot["host"], jobs_file, out_file),
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.PIPE,
+                        env=env,
                     )
-                for index, payload in read_results_file(out_file):
-                    if index in expected and index not in seen:
-                        seen.add(index)
-                        emit(index, payload)
-            missing = sorted(expected - seen)
-            if missing:
-                raise ReproError(
-                    f"hosts returned no result for task(s) {missing}"
-                )
+                    launched.append((slot, out_file, proc))
+                for slot, out_file, proc in launched:
+                    deadline = (
+                        self.deadline_s * len(slot["piece"])
+                        if self.deadline_s else None
+                    )
+                    timed_out = False
+                    try:
+                        _stdout, stderr = proc.communicate(timeout=deadline)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+                        _stdout, stderr = proc.communicate()
+                        timed_out = True
+                    tail = stderr.decode(errors="replace").strip()[-2000:]
+                    for row in read_worker_rows(out_file):
+                        if "error" in row:
+                            # Typed row: the job itself raised.  It
+                            # would raise identically on any host, so
+                            # fail now instead of burning retries.
+                            error = row["error"]
+                            raise ReproError(
+                                f"sweep task {row['index']} failed "
+                                f"deterministically on host "
+                                f"{slot['hid']}: {error.get('type')}: "
+                                f"{error.get('message')}\n"
+                                f"{error.get('traceback', '')}"
+                            )
+                        index = row["index"]
+                        if index in expected and index not in seen:
+                            seen.add(index)
+                            emit(index, row["payload"])
+                    missing = [
+                        t for t in slot["piece"] if t[0] not in seen
+                    ]
+                    if not missing:
+                        # Everything parsed — even if the worker died
+                        # after its last row, nothing needs retrying.
+                        slot["piece"] = []
+                        slot["done_after_s"] = time.perf_counter() - started
+                        continue
+                    slot["failures"] += 1
+                    reason = (
+                        f"deadline ({deadline:.0f}s) expired" if timed_out
+                        else f"exited with status {proc.returncode}"
+                        if proc.returncode != 0
+                        else "returned no rows for remaining task(s)"
+                    )
+                    if slot["failures"] > self.retry.max_retries:
+                        indexes = [index for index, _obj in missing]
+                        raise ReproError(
+                            f"worker on host {slot['hid']!r} "
+                            f"{reason} with task(s) {indexes} "
+                            f"unfinished after {slot['failures']} "
+                            f"attempt(s); stderr tail: {tail}"
+                        )
+                    slot["piece"] = missing
+                    slot["retried"] += len(missing)
+                    retries_total += len(missing)
+                    time.sleep(self.retry.backoff_s(
+                        slot["failures"],
+                        key=f"{slot['hid']}:{missing[0][0]}",
+                    ))
         self.metrics = {
-            "hosts": host_metrics,
+            "hosts": {
+                slot["hid"]: {
+                    "tasks": slot["size"],
+                    "failures": slot["failures"],
+                    "retried_tasks": slot["retried"],
+                    # Wall time until this worker finished, from
+                    # backend start (workers run concurrently; the
+                    # drain loop joins them in launch order).
+                    "done_after_s": slot.get("done_after_s"),
+                }
+                for slot in slots
+            },
             "tasks": len(tasks),
+            "retries": retries_total,
             "wall_s": time.perf_counter() - started,
         }
 

@@ -47,6 +47,22 @@ def default_cache_dir() -> Path:
     return root / CACHE_SUBDIR
 
 
+def spool_dir(root: str | Path | None = None) -> Path:
+    """Scratch directory for fleet spool files (jobs, result streams,
+    heartbeat leases), created on demand.
+
+    Defaults to ``<cache_dir>/spool`` rather than ``tempfile``'s
+    ``/tmp``: the remote-worker contract assumes a *shared* filesystem,
+    and the cache directory is the one path the platform already
+    requires to be shared — ``/tmp`` is almost always host-local, so
+    spooling there would silently break every non-local host.
+    """
+    base = Path(root) if root is not None else default_cache_dir()
+    path = base / "spool"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
 @contextlib.contextmanager
 def _store_lock(directory: Path):
     """Advisory exclusive lock over a store directory (no-op without

@@ -65,6 +65,26 @@ class SweepMetrics:
         return cls(**{k: v for k, v in payload.items() if k in known})
 
 
+def fleet_backend_metrics(metrics: "dict | SweepMetrics") -> dict | None:
+    """The fleet-shaped slice of a sweep's backend metrics, or ``None``.
+
+    A backend is fleet-shaped when it reports a per-host dict of dicts
+    under ``"hosts"`` (``remote-fleet`` and ``subprocess-ssh`` do) —
+    the shape ``repro fleet status`` and the stats fleet section
+    render.  Free-form scalar backend metrics stay untouched in the
+    generic ``backend.*`` rows.
+    """
+    if isinstance(metrics, SweepMetrics):
+        metrics = metrics.to_dict()
+    backend = metrics.get("backend_metrics") or {}
+    hosts = backend.get("hosts")
+    if not isinstance(hosts, dict) or not hosts:
+        return None
+    if not all(isinstance(entry, dict) for entry in hosts.values()):
+        return None
+    return backend
+
+
 def sweep_id_for(spec) -> str:
     """Content identity of a :class:`~repro.exp.spec.SweepSpec`.
 

@@ -13,9 +13,11 @@ on the hot path's import chain.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.analysis.report import render_table
+from repro.obs.metrics import fleet_backend_metrics
 
 
 def format_ns(value) -> str:
@@ -48,10 +50,90 @@ def _metric_rows(metrics: dict) -> list[list[object]]:
     for key, value in sorted(
         (metrics.get("backend_metrics") or {}).items()
     ):
+        if key == "hosts" and isinstance(value, dict):
+            continue  # rendered as the per-host fleet table
         if isinstance(value, float):
             value = round(value, 3)
+        elif isinstance(value, dict):
+            value = json.dumps(value, sort_keys=True)
         rows.append([f"backend.{key}", value])
     return rows
+
+
+#: Column order of the per-host fleet table (stats and fleet status).
+FLEET_HOST_COLUMNS = [
+    "host", "status", "slots", "jobs", "dispatches", "failures",
+    "quarantines", "note",
+]
+
+
+def _fleet_host_rows(fleet: dict) -> list[list[object]]:
+    """Per-host rows from fleet-shaped backend metrics.
+
+    Tolerant of both shapes: ``remote-fleet`` hosts carry
+    status/slots/dispatches, ``subprocess-ssh`` ones only
+    tasks/failures — absent fields render as ``-``.
+    """
+    rows = []
+    hosts = fleet.get("hosts") or {}
+    for hid in sorted(hosts):
+        entry = hosts[hid] or {}
+        note = entry.get("reason") or ""
+        probe = entry.get("probe") or {}
+        if not note and probe:
+            note = f"py {probe.get('python')}, {probe.get('cpus')} cpu(s)"
+        rows.append([
+            hid,
+            entry.get("status", "-"),
+            entry.get("slots", "-"),
+            entry.get("jobs", entry.get("tasks", "-")),
+            entry.get("dispatches", "-"),
+            entry.get("failures", "-"),
+            entry.get("quarantines", "-"),
+            note or "-",
+        ])
+    return rows
+
+
+def _fleet_counter_rows(fleet: dict) -> list[list[object]]:
+    rows: list[list[object]] = []
+    for key in (
+        "tasks", "probes", "retries", "migrations", "quarantines", "wall_s"
+    ):
+        if key in fleet:
+            value = fleet[key]
+            rows.append([
+                key, round(value, 3) if isinstance(value, float) else value,
+            ])
+    for key in ("fallback", "faults_fired"):
+        value = fleet.get(key)
+        if value:
+            rows.append([key, json.dumps(value, sort_keys=True)])
+    return rows
+
+
+def render_fleet_status(trace: dict, path: str | Path | None = None) -> str:
+    """``repro fleet status`` output: the per-host and fleet-wide
+    supervision counters of one sweep trace."""
+    header = trace.get("header") or {}
+    metrics = header.get("metrics") or {}
+    sweep_id = str(header.get("sweep_id", "?"))
+    title = f"Fleet status: sweep {sweep_id[:12]}"
+    if path is not None:
+        title += f" ({path})"
+    fleet = fleet_backend_metrics(metrics)
+    if fleet is None:
+        return (
+            f"{title}\nbackend {metrics.get('backend', '?')!r} reported "
+            "no per-host fleet metrics (run the sweep with --backend "
+            "remote-fleet or subprocess-ssh)"
+        )
+    return "\n\n".join([
+        render_table(title, FLEET_HOST_COLUMNS, _fleet_host_rows(fleet)),
+        render_table(
+            "Fleet counters", ["metric", "value"], _fleet_counter_rows(fleet)
+        ),
+    ])
 
 
 def _store_rows(store: dict) -> list[list[object]]:
@@ -115,6 +197,11 @@ def render_stats(trace: dict, path: str | Path | None = None) -> str:
     if store:
         sections.append(render_table(
             "Store health", ["metric", "value"], _store_rows(store)
+        ))
+    fleet = fleet_backend_metrics(metrics)
+    if fleet is not None:
+        sections.append(render_table(
+            "Fleet hosts", FLEET_HOST_COLUMNS, _fleet_host_rows(fleet)
         ))
     sections.append(render_table(
         "Per-job request latency (simulated time)",

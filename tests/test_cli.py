@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import build_parser, main
+from repro.errors import ReproError
 
 
 class TestParser:
@@ -102,12 +103,17 @@ class TestParser:
         assert args.backend == "auto" and args.hosts is None
 
     def test_worker_requires_jobs_file_and_out(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["worker"])
+        # --probe stands alone; a batch run needs both paths (enforced
+        # in the command so --probe can omit them).
+        from repro.cli import _cmd_worker
+
+        with pytest.raises(ReproError, match="--jobs-file and --out"):
+            _cmd_worker(build_parser().parse_args(["worker"]))
         args = build_parser().parse_args(
             ["worker", "--jobs-file", "/tmp/j.pkl", "--out", "/tmp/o.jsonl"]
         )
         assert args.jobs_file == "/tmp/j.pkl" and args.out == "/tmp/o.jsonl"
+        assert build_parser().parse_args(["worker", "--probe"]).probe
 
     def test_bench_backend_options(self):
         args = build_parser().parse_args(
