@@ -13,7 +13,10 @@ Usage::
     python -m repro engines           # list the registered sim engines
     python -m repro worker ...        # execute a serialized job batch
     python -m repro cache info        # result-cache health metrics
-    python -m repro cache gc          # compact the result cache
+    python -m repro cache gc          # compact cache, reclaim spool
+    python -m repro serve             # HTTP sweep service (submit/stream)
+    python -m repro submit 429.mcf    # POST a sweep to the service
+    python -m repro status <id>       # poll/stream a submitted sweep
     python -m repro bench             # simulator throughput benchmark
     python -m repro stats             # summarize a sweep trace
     python -m repro fleet status      # per-host fleet supervision counters
@@ -135,30 +138,22 @@ def _cmd_perf(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.defenses import resolve_defense
-    from repro.exp import ResultStore, SweepSpec, run_sweep, stderr_progress
-    from repro.params import default_config
-    from repro.sim import EVALUATED_VARIANTS
+    from repro.exp import ResultStore, run_sweep, stderr_progress
+    from repro.serve.protocol import build_spec
 
-    config = default_config().with_prac(n_bo=args.nbo_value, n_mit=args.n_mit,
-                                        abo_delay=None)
-    if not args.workloads and not args.attacks:
-        raise ReproError(
-            "a sweep needs workloads and/or --attacks patterns"
-        )
-    if args.defenses:
-        defenses = tuple(resolve_defense(d) for d in args.defenses)
-    else:
-        defenses = tuple(resolve_defense(v) for v in EVALUATED_VARIANTS)
-    spec = SweepSpec(
-        workloads=tuple(args.workloads),
-        defenses=defenses,
-        config=config,
-        n_entries=args.entries,
+    # The same spec builder the sweep service uses: a grid submitted
+    # over HTTP and one run here are identical by construction.
+    spec = build_spec(
+        args.workloads,
+        defenses=args.defenses,
+        attacks=args.attacks,
+        entries=args.entries,
+        nbo=args.nbo_value,
+        n_mit=args.n_mit,
         seed=args.seed,
         engine=args.engine,
-        attacks=tuple(args.attacks or ()),
     )
+    defenses = spec.defenses
     store = None if args.no_cache else ResultStore(args.cache_dir)
     progress = None if args.quiet else stderr_progress
     if args.faults is not None:
@@ -197,7 +192,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if sweep.trace_path is not None:
         print(f"sweep trace {sweep.trace_path}")
     if args.print_digest:
-        print(f"aggregate sha256: {_sweep_digest(sweep)}")
+        from repro.exp import sweep_digest
+
+        print(f"aggregate sha256: {sweep_digest(sweep)}")
     return 0
 
 
@@ -256,18 +253,6 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     if args.print_digest:
         print(f"report sha256: {hunt.digest()}")
     return 0
-
-
-def _sweep_digest(sweep) -> str:
-    """Byte-stable digest of the full aggregate: the equivalence probe
-    used by the CI backend-equivalence job."""
-    import hashlib
-
-    from repro.exp import canonical_json, result_to_dict
-
-    return hashlib.sha256(canonical_json(
-        [result_to_dict(o.result) for o in sweep.outcomes]
-    ).encode()).hexdigest()
 
 
 def _cmd_backends(args: argparse.Namespace) -> int:
@@ -339,7 +324,7 @@ def _cmd_defenses(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from repro.exp import ResultStore
+    from repro.exp import ResultStore, gc_spool
 
     store = ResultStore(args.cache_dir)
     if args.action == "gc":
@@ -353,6 +338,20 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"{before.damaged_lines} damaged lines "
             f"({reclaimed} bytes reclaimed)"
         )
+        # A SIGKILLed coordinator leaks its fleet spool directory; age
+        # (plus heartbeat liveness inside gc_spool) keeps a *running*
+        # sweep's spool safe from collection.
+        from repro.exp.cache import SPOOL_GC_MIN_AGE_S
+
+        min_age = (
+            SPOOL_GC_MIN_AGE_S if args.spool_age is None else args.spool_age
+        )
+        removed, spool_bytes = gc_spool(store.directory, min_age_s=min_age)
+        if removed:
+            print(
+                f"removed {removed} orphaned fleet spool dir(s) "
+                f"({spool_bytes} bytes reclaimed)"
+            )
         return 0
     # Health comes from the same metrics block SweepMetrics embeds, so
     # `cache info` and `repro stats` can never disagree on a number.
@@ -365,6 +364,142 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         _store_rows(health),
     ))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import SweepService
+    from repro.serve.http import serve
+
+    service = SweepService(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+    )
+
+    def ready(host: str, port: int) -> None:
+        print(f"sweep service on http://{host}:{port} "
+              f"(cache {service.cache_dir}, {service.workers} worker(s)); "
+              "SIGTERM drains", file=sys.stderr)
+
+    return serve(service, host=args.host, port=args.port,
+                 quiet=args.quiet, ready=ready)
+
+
+def _submission_payload(args: argparse.Namespace) -> dict:
+    """argparse namespace -> the service's JSON request body (grid
+    fields only when given, so service defaults stay authoritative)."""
+    payload: dict = {
+        "workloads": list(args.workloads),
+        "entries": args.entries,
+        "nbo": args.nbo_value,
+        "n_mit": args.n_mit,
+        "seed": args.seed,
+        "engine": args.engine,
+        "backend": args.backend,
+        "jobs": args.jobs,
+        "trace": args.trace,
+    }
+    if args.defenses is not None:
+        payload["defenses"] = list(args.defenses)
+    if args.attacks is not None:
+        payload["attacks"] = list(args.attacks)
+    if args.hosts is not None:
+        payload["hosts"] = list(args.hosts)
+    if args.faults is not None:
+        payload["faults"] = args.faults
+    return payload
+
+
+def _print_service_snapshot(snapshot: dict,
+                            print_digest: bool = False) -> None:
+    """Shared submit/status rendering of one status payload."""
+    sweep_id = snapshot.get("sweep_id", "?")
+    state = snapshot.get("state", "?")
+    line = (
+        f"sweep {sweep_id[:12]} {state}: "
+        f"{snapshot.get('completed', 0)}/{snapshot.get('total_jobs', '?')} "
+        f"jobs, {snapshot.get('executed', 0)} executed, "
+        f"{snapshot.get('cache_hits', 0)} from cache"
+    )
+    if snapshot.get("replay"):
+        line += " (replayed from store)"
+    print(line)
+    if state == "failed" and snapshot.get("error"):
+        print(f"error: {snapshot['error']}", file=sys.stderr)
+    aggregates = snapshot.get("aggregates")
+    if aggregates:
+        print(render_table(
+            f"Sweep {sweep_id[:12]} aggregates",
+            ["workload", "defense", "slowdown %", "alerts/tREFI"],
+            [
+                [row.get("workload"), row.get("defense"),
+                 row.get("slowdown_pct"), row.get("alerts_per_trefi")]
+                for row in aggregates
+            ],
+        ))
+    if snapshot.get("trace_path"):
+        print(f"sweep trace {snapshot['trace_path']}")
+    if print_digest and snapshot.get("digest"):
+        # Same line format as `repro sweep --print-digest`: CI diffs
+        # the two outputs directly.
+        print(f"aggregate sha256: {snapshot['digest']}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import client
+
+    snapshot = client.submit(args.url, _submission_payload(args))
+    state = snapshot.get("state", "?")
+    if args.no_wait or state in ("done", "failed"):
+        _print_service_snapshot(snapshot, print_digest=args.print_digest)
+        return 0 if state != "failed" else 1
+    sweep_id = snapshot["sweep_id"]
+    print(f"submitted sweep {sweep_id[:12]} "
+          f"({snapshot.get('total_jobs', '?')} jobs, {state})",
+          file=sys.stderr)
+    final = client.wait_done(args.url, sweep_id, timeout=args.timeout)
+    _print_service_snapshot(final, print_digest=args.print_digest)
+    return 0 if final.get("state") == "done" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.serve import client
+
+    if args.sweep_id is None:
+        sweeps = client.list_sweeps(args.url)
+        if not sweeps:
+            print("no sweeps submitted")
+            return 0
+        print(render_table(
+            f"Sweeps at {args.url}",
+            ["sweep id", "state", "jobs", "done", "executed", "cached",
+             "submissions"],
+            [
+                [s.get("sweep_id", "?")[:12], s.get("state"),
+                 s.get("total_jobs"), s.get("completed"),
+                 s.get("executed"), s.get("cache_hits"),
+                 s.get("submissions")]
+                for s in sweeps
+            ],
+        ))
+        return 0
+    if args.watch:
+        final: dict | None = None
+        for event in client.stream(args.url, args.sweep_id):
+            if event.get("type") == "status":
+                final = event
+                break
+            print(f"[{event.get('completed')}/{event.get('total')}] "
+                  f"{event.get('label')} "
+                  f"{'cached' if event.get('cached') else 'simulated'}",
+                  file=sys.stderr)
+        if final is not None:
+            _print_service_snapshot(final, print_digest=args.print_digest)
+            return 0 if final.get("state") == "done" else 1
+        return 1
+    snapshot = client.status(args.url, args.sweep_id, wait_s=args.wait)
+    _print_service_snapshot(snapshot, print_digest=args.print_digest)
+    return 0 if snapshot.get("state") != "failed" else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -781,7 +916,102 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (default: "
                    "$REPRO_CACHE_DIR or ~/.cache/qprac-repro)")
+    p.add_argument("--spool-age", type=float, default=None, metavar="S",
+                   help="gc: reclaim fleet spool dirs idle for more "
+                   "than S seconds (default 3600; a live sweep's "
+                   "heartbeats keep its spool younger than any sane "
+                   "threshold)")
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP sweep service (submit/stream front-end)",
+        description="Start a long-running sweep service over the "
+        "orchestrator: POST /sweeps submits a grid (same grammar as "
+        "`repro sweep`), GET /sweeps/<id> polls or streams progress, "
+        "GET /healthz reports liveness.  Results land in the shared "
+        "result cache, so resubmitting a completed spec executes zero "
+        "jobs.  SIGTERM/SIGINT drain gracefully.",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8077,
+                   help="listen port (0 = kernel-assigned; default 8077)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent sweep executions (default 1)")
+    p.add_argument("--queue-limit", type=int, default=8,
+                   help="max queued sweeps before submissions get 429 "
+                   "(default 8)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (default: "
+                   "$REPRO_CACHE_DIR or ~/.cache/qprac-repro)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-request access log on stderr")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running `repro serve` instance",
+        description="POST a sweep to the HTTP service and (by default) "
+        "wait for completion.  Grid options mirror `repro sweep`; the "
+        "service builds the identical spec, so digests match a local "
+        "serial run byte for byte.",
+    )
+    p.add_argument("workloads", nargs="*",
+                   help="workload names; may be empty when --attacks "
+                   "supplies the grid")
+    p.add_argument("--url", default="http://127.0.0.1:8077",
+                   help="service base URL (default http://127.0.0.1:8077)")
+    p.add_argument("--defenses", "--variants", nargs="+", default=None,
+                   dest="defenses", metavar="DEFENSE",
+                   help="registered defenses (default: the paper's five "
+                   "QPRAC variants)")
+    p.add_argument("--attacks", nargs="+", default=None, metavar="PATTERN",
+                   help="registered attack patterns swept like workloads")
+    p.add_argument("--entries", type=int, default=5000)
+    p.add_argument("--nbo-value", type=int, default=32)
+    p.add_argument("--n-mit", type=int, default=1, choices=(1, 2, 4))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", default="event",
+                   help="simulation engine for every job")
+    p.add_argument("--backend", default="serial",
+                   help="execution backend the service runs the sweep "
+                   "on (default serial)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for parallel backends")
+    p.add_argument("--hosts", nargs="+", default=None, metavar="HOST",
+                   help="host list for the fleet/ssh backends")
+    p.add_argument("--faults", default=None, metavar="PLAN",
+                   help="chaos-injection plan (remote-fleet backend only)")
+    p.add_argument("--trace", action="store_true",
+                   help="record per-request latency telemetry")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the sweep id and return without waiting")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="max seconds to wait for completion "
+                   "(default: wait forever)")
+    p.add_argument("--print-digest", action="store_true",
+                   help="print the aggregate sha256 (same line format "
+                   "as `repro sweep --print-digest`)")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "status",
+        help="query a running sweep service (one sweep or all)",
+        description="Show one sweep's status from a `repro serve` "
+        "instance (by id or unambiguous prefix), stream its progress "
+        "with --watch, or list every known sweep when no id is given.",
+    )
+    p.add_argument("sweep_id", nargs="?", default=None,
+                   help="sweep id (or unique prefix); omit to list all")
+    p.add_argument("--url", default="http://127.0.0.1:8077",
+                   help="service base URL (default http://127.0.0.1:8077)")
+    p.add_argument("--wait", type=float, default=0.0, metavar="S",
+                   help="block up to S seconds for a terminal state")
+    p.add_argument("--watch", action="store_true",
+                   help="stream per-job progress (NDJSON) until done")
+    p.add_argument("--print-digest", action="store_true",
+                   help="print the aggregate sha256 when available")
+    p.set_defaults(func=_cmd_status)
 
     p = sub.add_parser(
         "bench",

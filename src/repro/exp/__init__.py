@@ -48,6 +48,8 @@ from repro.exp.cache import (
     ResultStore,
     StoreInfo,
     default_cache_dir,
+    gc_spool,
+    spool_usage,
 )
 from repro.exp.runner import (
     JobOutcome,
@@ -55,6 +57,7 @@ from repro.exp.runner import (
     execute_job,
     run_sweep,
     stderr_progress,
+    sweep_digest,
 )
 from repro.exp.serialize import (
     SCHEMA_VERSION,
@@ -85,8 +88,11 @@ __all__ = [
     "comparison_from_sweep",
     "default_cache_dir",
     "execute_job",
+    "gc_spool",
     "mean_slowdown_by_override",
     "overrides_label",
+    "spool_usage",
+    "sweep_digest",
     "register_backend",
     "registered_backends",
     "resolve_backend",

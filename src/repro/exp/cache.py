@@ -3,8 +3,10 @@
 Completed simulations are appended to a JSONL file, one
 ``{"key": <sha256>, "payload": <result dict>}`` object per line.  The
 append-only layout makes interrupted sweeps resumable for free: every
-finished job is durable the moment its line hits the disk, and the next
-sweep simply skips keys it finds here.
+finished job is durable the moment its line hits the disk — the append
+path flushes *and* fsyncs (see :data:`STORE_FSYNC_ENV`), so the row
+survives an OS crash, not just this process — and the next sweep simply
+skips keys it finds here.
 
 Robustness contract: loading **never** fails because of a damaged cache.
 A truncated final line (killed mid-write), garbage bytes, or a
@@ -36,6 +38,25 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: this are never auto-compacted (rewriting a small file buys nothing).
 AUTO_COMPACT_MIN_WASTE = 64
 
+#: Environment switch for the append-path ``os.fsync``.  The durability
+#: contract ("durable the moment its line hits the disk") needs the
+#: fsync, so it defaults on; test suites that churn thousands of tiny
+#: puts on slow disks may set ``REPRO_STORE_FSYNC=0`` to trade the
+#: power-loss guarantee for speed (an OS crash can then lose the most
+#: recent appends, but never corrupt older rows).
+STORE_FSYNC_ENV = "REPRO_STORE_FSYNC"
+
+#: Spool directories older than this (newest contained mtime, so a
+#: renewing heartbeat lease keeps its directory alive) are considered
+#: orphaned by :func:`gc_spool`.  Heartbeats renew at sub-second
+#: cadence and fleet dispatch files are touched per batch, so one hour
+#: is conservative by several orders of magnitude.
+SPOOL_GC_MIN_AGE_S = 3600.0
+
+
+def _fsync_enabled() -> bool:
+    return os.environ.get(STORE_FSYNC_ENV, "1") != "0"
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME`` or ``~/.cache``."""
@@ -61,6 +82,83 @@ def spool_dir(root: str | Path | None = None) -> Path:
     path = base / "spool"
     path.mkdir(parents=True, exist_ok=True)
     return path
+
+
+def _spool_entries(root: str | Path | None = None) -> list[Path]:
+    """Per-run fleet spool directories (``spool/fleet-*``), no mkdir."""
+    base = Path(root) if root is not None else default_cache_dir()
+    directory = base / "spool"
+    if not directory.is_dir():
+        return []
+    return sorted(p for p in directory.glob("fleet-*") if p.is_dir())
+
+
+def _dir_stats(directory: Path) -> tuple[int, int, float]:
+    """``(files, bytes, newest_mtime)`` over one spool dir, tolerantly
+    (workers may still be writing or deleting while we scan)."""
+    files = 0
+    size = 0
+    try:
+        newest = directory.stat().st_mtime
+    except OSError:
+        newest = 0.0
+    for path in directory.rglob("*"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        if stat.st_mtime > newest:
+            newest = stat.st_mtime
+        if path.is_file():
+            files += 1
+            size += stat.st_size
+    return files, size, newest
+
+
+def spool_usage(root: str | Path | None = None) -> dict:
+    """JSON-able footprint of the fleet spool (``repro cache info``)."""
+    dirs = _spool_entries(root)
+    files = 0
+    size = 0
+    for directory in dirs:
+        n, b, _newest = _dir_stats(directory)
+        files += n
+        size += b
+    return {"dirs": len(dirs), "files": files, "bytes": size}
+
+
+def gc_spool(
+    root: str | Path | None = None,
+    min_age_s: float = SPOOL_GC_MIN_AGE_S,
+    now: float | None = None,
+) -> tuple[int, int]:
+    """Reclaim orphaned fleet spool directories; returns
+    ``(dirs_removed, bytes_reclaimed)``.
+
+    A coordinator normally removes its own ``spool/fleet-*`` directory,
+    but a SIGKILL (or a powered-off coordinator host) never reaches
+    that cleanup, so job pickles, result streams and heartbeat leases
+    accumulate forever on the shared filesystem.  A directory is
+    reclaimed only when its *newest* contained mtime — which a live
+    worker's heartbeat lease renews at sub-second cadence, and every
+    dispatch refreshes — is older than ``min_age_s``: anything a
+    running fleet could still be using is left alone.
+    """
+    if now is None:
+        now = time.time()
+    removed = 0
+    reclaimed = 0
+    import shutil
+
+    for directory in _spool_entries(root):
+        _files, size, newest = _dir_stats(directory)
+        if now - newest < min_age_s:
+            continue  # something in there is recent: possibly live
+        shutil.rmtree(directory, ignore_errors=True)
+        if not directory.exists():
+            removed += 1
+            reclaimed += size
+    return removed, reclaimed
 
 
 @contextlib.contextmanager
@@ -144,6 +242,25 @@ class ResultStore:
         self.flush_count = 0
         self.flush_total_s = 0.0
         self.flush_max_s = 0.0
+        #: fsync cost within the flush path, counted separately so the
+        #: price of the durability contract is visible (`repro cache
+        #: info` / `repro stats`).  Zero when REPRO_STORE_FSYNC=0.
+        self.fsync_count = 0
+        self.fsync_total_s = 0.0
+        self.fsync_max_s = 0.0
+        #: Rows appended by *other* writers that this instance has
+        #: folded into its index via :meth:`reconcile`.
+        self.reconciled_records = 0
+        #: File offset up to which this instance has parsed the data
+        #: file.  Everything past it was appended by concurrent writers
+        #: since we last looked; :meth:`reconcile` absorbs it under the
+        #: store lock so counts (`info()`/`health()`) and auto-compaction
+        #: decisions never drift during multi-writer sweeps.
+        self._synced_bytes = 0
+        #: Inode backing that offset: compaction replaces the file
+        #: (``os.replace``), and the rewrite can land on the *same* byte
+        #: count — the identity change is what says "reload", not size.
+        self._synced_ino = 0
         #: Compaction latency accounting (auto and explicit).
         self.compaction_count = 0
         self.compaction_total_s = 0.0
@@ -157,34 +274,51 @@ class ResultStore:
             self._maybe_auto_compact()
 
     def _load(self) -> None:
-        if not self.path.exists():
+        try:
+            raw = self.path.read_bytes()
+            ino = self.path.stat().st_ino
+        except FileNotFoundError:
+            self._synced_bytes = 0
+            self._synced_ino = 0
             return
+        # Everything read here is accounted for (well-formed, damaged,
+        # or a torn tail that put() will repair into a damaged line), so
+        # the sync point is the end of what we saw; bytes appended past
+        # it by concurrent writers are absorbed by reconcile().
+        self._synced_bytes = len(raw)
+        self._synced_ino = ino
         # Decode permissively: invalid UTF-8 (disk corruption, a crash
         # mid-multibyte-write) must degrade to skipped lines, not abort.
-        text = self.path.read_bytes().decode("utf-8", errors="replace")
+        text = raw.decode("utf-8", errors="replace")
         self._needs_newline = bool(text) and not text.endswith("\n")
         for line in text.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                self.skipped_lines += 1
-                continue
-            if (
-                not isinstance(record, dict)
-                or not isinstance(record.get("key"), str)
-                or not isinstance(record.get("payload"), dict)
-            ):
-                self.skipped_lines += 1
-                continue
-            # Last write wins, so re-runs after code changes stay correct
-            # even if an old record shares a key (it cannot, but cheap).
-            self._records += 1
-            self._index[record["key"]] = record["payload"]
-            salt = record.get("salt")
-            self._salts[record["key"]] = salt if isinstance(salt, str) else None
+            self._ingest_line(line)
+
+    def _ingest_line(self, line: str) -> bool:
+        """Fold one JSONL line into the index; True if it was a
+        well-formed record (else it is counted as damaged)."""
+        line = line.strip()
+        if not line:
+            return False
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            self.skipped_lines += 1
+            return False
+        if (
+            not isinstance(record, dict)
+            or not isinstance(record.get("key"), str)
+            or not isinstance(record.get("payload"), dict)
+        ):
+            self.skipped_lines += 1
+            return False
+        # Last write wins, so re-runs after code changes stay correct
+        # even if an old record shares a key (it cannot, but cheap).
+        self._records += 1
+        self._index[record["key"]] = record["payload"]
+        salt = record.get("salt")
+        self._salts[record["key"]] = salt if isinstance(salt, str) else None
+        return True
 
     def _tail_is_torn(self) -> bool:
         """True when the data file ends mid-line (crash during an
@@ -207,6 +341,61 @@ class ResultStore:
         self.skipped_lines = 0
         self._needs_newline = False
         self._load()
+
+    def _absorb_new_rows(self) -> int:
+        """Fold rows appended by concurrent writers since this instance
+        last synced into the in-memory index and counters.  MUST be
+        called with the store lock held.
+
+        Only complete lines are absorbed; a torn tail (another writer
+        crashed mid-append) stays unsynced until a later append repairs
+        it.  If the file shrank — another process compacted it — the
+        whole view is rebuilt, which is the only safe interpretation.
+        """
+        try:
+            stat = self.path.stat()
+        except FileNotFoundError:
+            self._synced_bytes = 0
+            self._synced_ino = 0
+            return 0
+        size = stat.st_size
+        if size < self._synced_bytes or stat.st_ino != self._synced_ino:
+            # Shrunk, or same path but a different file: another process
+            # compacted (os.replace swaps inodes even at equal size), or
+            # created the file after we opened on nothing.
+            before = self._records
+            self._reload()
+            absorbed = max(0, self._records - before)
+            self.reconciled_records += absorbed
+            return absorbed
+        if size == self._synced_bytes:
+            return 0
+        with self.path.open("rb") as handle:
+            handle.seek(self._synced_bytes)
+            raw = handle.read()
+        complete, newline, _partial = raw.rpartition(b"\n")
+        if not newline:
+            return 0  # a single torn line: nothing complete to absorb
+        absorbed = 0
+        for line in complete.decode("utf-8", errors="replace").splitlines():
+            if self._ingest_line(line):
+                absorbed += 1
+        self._synced_bytes += len(complete) + 1
+        self.reconciled_records += absorbed
+        return absorbed
+
+    def reconcile(self) -> int:
+        """Absorb rows appended by concurrent writers (under the store
+        lock); returns how many records were folded in.
+
+        :meth:`put` reconciles implicitly, but a read-mostly instance —
+        the coordinator process of a multi-writer sweep, a long-lived
+        service answering ``info()``/``health()`` — would otherwise
+        under-count records written by its workers and drift its
+        auto-compaction decisions.
+        """
+        with _store_lock(self.directory):
+            return self._absorb_new_rows()
 
     def __len__(self) -> int:
         return len(self._index)
@@ -238,6 +427,10 @@ class ResultStore:
         line = json.dumps(record, sort_keys=True)
         flush_started = time.perf_counter()
         with _store_lock(self.directory):
+            # Fold in whatever concurrent writers appended since we last
+            # looked, so this instance's record counts never drift under
+            # multi-writer sweeps (the lock makes the view consistent).
+            self._absorb_new_rows()
             # Decide the repair newline from the file's *actual* tail,
             # under the lock — not from load-time state: another process
             # may have crashed mid-append (or repaired the tail) since
@@ -245,11 +438,39 @@ class ResultStore:
             # damage this record too.
             torn = self._tail_is_torn()
             self._needs_newline = False
+            if torn:
+                try:
+                    size = self.path.stat().st_size
+                except FileNotFoundError:
+                    size = 0
+                if size > self._synced_bytes:
+                    # A concurrent writer crashed mid-append since we
+                    # last synced: its partial row becomes a damaged
+                    # line once the repair newline below completes it.
+                    # (A torn tail we already saw at load time was
+                    # counted then — don't count it twice.)
+                    self.skipped_lines += 1
             with self.path.open("a") as handle:
                 if torn:
                     handle.write("\n")
                 handle.write(line + "\n")
                 handle.flush()
+                if _fsync_enabled():
+                    # The durability contract: the row must survive an
+                    # OS crash, not just this process (resume-from-cache
+                    # trusts every line already on disk).
+                    fsync_started = time.perf_counter()
+                    os.fsync(handle.fileno())
+                    fsync_s = time.perf_counter() - fsync_started
+                    self.fsync_count += 1
+                    self.fsync_total_s += fsync_s
+                    if fsync_s > self.fsync_max_s:
+                        self.fsync_max_s = fsync_s
+            # Flushed under the lock, so EOF is exactly our own append:
+            # everything up to here is now part of this instance's view.
+            stat = self.path.stat()
+            self._synced_bytes = stat.st_size
+            self._synced_ino = stat.st_ino
         flush_s = time.perf_counter() - flush_started
         self.flush_count += 1
         self.flush_total_s += flush_s
@@ -303,7 +524,12 @@ class ResultStore:
         }
 
     def info(self) -> StoreInfo:
-        """Entry counts and reclaimable waste for this store."""
+        """Entry counts and reclaimable waste for this store.
+
+        Reconciles with rows appended by concurrent writers first, so
+        the counts describe the file, not this instance's stale view.
+        """
+        self.reconcile()
         size = self.path.stat().st_size if self.path.exists() else 0
         return StoreInfo(
             path=str(self.path),
@@ -351,6 +577,12 @@ class ResultStore:
                             json.dumps(record, sort_keys=True) + "\n"
                         )
                 os.replace(tmp, self.path)
+                stat = self.path.stat()
+                self._synced_bytes = stat.st_size
+                self._synced_ino = stat.st_ino
+        else:
+            self._synced_bytes = 0
+            self._synced_ino = 0
         self._records = len(self._index)
         self.skipped_lines = 0
         self._needs_newline = False
@@ -376,14 +608,19 @@ class ResultStore:
             "hits": self.hits,
             "misses": self.misses,
             "auto_compactions": self.auto_compactions,
+            "reconciled_records": self.reconciled_records,
             "flush": {
                 "count": self.flush_count,
                 "total_s": self.flush_total_s,
                 "max_s": self.flush_max_s,
+                "fsync_count": self.fsync_count,
+                "fsync_total_s": self.fsync_total_s,
+                "fsync_max_s": self.fsync_max_s,
             },
             "compaction": {
                 "count": self.compaction_count,
                 "total_s": self.compaction_total_s,
                 "last_s": self.compaction_last_s,
             },
+            "spool": spool_usage(self.directory),
         }

@@ -45,6 +45,13 @@ from repro.obs import (
 
 ProgressFn = Callable[[str], None]
 
+#: Structured progress hook: receives one JSON-able dict per completed
+#: job (``{"type": "job", "index", "label", "cached", "completed",
+#: "total"}``), called from the orchestrating process/thread in
+#: completion order.  The machine-readable twin of ``progress`` — the
+#: sweep service streams these to HTTP clients.
+EventsFn = Callable[[dict], None]
+
 #: Per-job telemetry fields carried between the worker payload, the
 #: in-memory result, and the sweep trace file.
 _OBS_FIELDS = ("latency", "samples", "samples_total")
@@ -168,6 +175,7 @@ def run_sweep(
     backend: str | SweepBackend = "auto",
     hosts: Sequence[str] | None = None,
     telemetry: bool = False,
+    events: EventsFn | None = None,
 ) -> SweepResult:
     """Execute a sweep, reusing cached results where available.
 
@@ -196,6 +204,10 @@ def run_sweep(
         :data:`~repro.obs.TELEMETRY_ENV`).  Results and cache rows are
         byte-identical either way; the summaries land on each outcome's
         ``result.latency`` and in the sweep trace file.
+    events:
+        Structured progress hook (:data:`EventsFn`): one dict per
+        completed job, emitted alongside the human ``progress`` lines
+        and from the same (orchestrating) thread.
 
     Every run aggregates a :class:`~repro.obs.SweepMetrics` block onto
     the result, and — when a store is present — writes a JSONL sweep
@@ -226,8 +238,8 @@ def run_sweep(
                 payloads[index] = payload
                 cached[index] = True
                 cached_done += 1
-                _report(progress, cached_done + executed_done, total, job,
-                        cached=True)
+                _report(progress, events, cached_done + executed_done,
+                        total, index, job, cached=True)
                 continue
         pending.append(index)
 
@@ -245,8 +257,8 @@ def run_sweep(
             # compaction can identify rows stranded by code changes.
             store.put(keys[index], payload, salt=code_version_salt())
         executed_done += 1
-        _report(progress, cached_done + executed_done, total,
-                expanded[index], cached=False)
+        _report(progress, events, cached_done + executed_done, total,
+                index, expanded[index], cached=False)
 
     if backend == "auto" and (jobs == 1 or len(pending) <= 1):
         backend = "serial"
@@ -374,17 +386,42 @@ def _write_trace(
     return write_sweep_trace(path, metrics, job_rows)
 
 
+def sweep_digest(sweep: SweepResult) -> str:
+    """Byte-stable sha256 of the full aggregate (every outcome payload,
+    in spec-expansion order) — the equivalence probe behind ``repro
+    sweep --print-digest``, the CI backend-equivalence job, and the
+    sweep service's completion report.  Identical across backends,
+    engines' cached replays, and worker counts by construction."""
+    import hashlib
+
+    from repro.exp.serialize import canonical_json, result_to_dict
+
+    return hashlib.sha256(canonical_json(
+        [result_to_dict(o.result) for o in sweep.outcomes]
+    ).encode()).hexdigest()
+
+
 def stderr_progress(line: str) -> None:
     """Default CLI progress sink (stderr keeps stdout machine-readable)."""
     print(line, file=sys.stderr)
 
 
 def _report(
-    progress: ProgressFn | None, completed: int, total: int, job: Job,
-    cached: bool,
+    progress: ProgressFn | None, events: EventsFn | None, completed: int,
+    total: int, index: int, job: Job, cached: bool,
 ) -> None:
-    """Emit one progress line; ``completed`` is a monotonic done-count
-    (jobs finish out of submission order under parallel dispatch)."""
+    """Emit one progress line and/or one structured event; ``completed``
+    is a monotonic done-count (jobs finish out of submission order under
+    parallel dispatch)."""
+    if events is not None:
+        events({
+            "type": "job",
+            "index": index,
+            "label": job.label,
+            "cached": cached,
+            "completed": completed,
+            "total": total,
+        })
     if progress is None:
         return
     tag = overrides_label(job.overrides)

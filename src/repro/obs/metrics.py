@@ -65,6 +65,32 @@ class SweepMetrics:
         return cls(**{k: v for k, v in payload.items() if k in known})
 
 
+@dataclass
+class ServiceMetrics:
+    """Request-level counters of one sweep-service process (JSON-able).
+
+    The service front-end (:mod:`repro.serve`) increments these per
+    HTTP request and reports them at ``GET /healthz``; per-sweep
+    operational metrics stay in :class:`SweepMetrics` (and the trace
+    files), keyed by sweep-id as everywhere else.
+    """
+
+    submissions: int = 0
+    #: Submissions answered straight from a completed record / the
+    #: result store — the "near-free repeated query" path.
+    replays: int = 0
+    #: Submissions coalesced onto an already queued/running sweep.
+    attached: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Submissions refused (draining, queue full, invalid spec).
+    rejected: int = 0
+    status_requests: int = 0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
 def fleet_backend_metrics(metrics: "dict | SweepMetrics") -> dict | None:
     """The fleet-shaped slice of a sweep's backend metrics, or ``None``.
 

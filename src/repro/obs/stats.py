@@ -139,7 +139,7 @@ def render_fleet_status(trace: dict, path: str | Path | None = None) -> str:
 def _store_rows(store: dict) -> list[list[object]]:
     flush = store.get("flush") or {}
     compaction = store.get("compaction") or {}
-    return [
+    rows = [
         ["path", store.get("path", "?")],
         ["size (bytes)", store.get("size_bytes", 0)],
         ["live entries", store.get("live_keys", 0)],
@@ -152,6 +152,10 @@ def _store_rows(store: dict) -> list[list[object]]:
          f"{flush.get('count', 0)} "
          f"({flush.get('total_s', 0.0):.3f}s total, "
          f"{flush.get('max_s', 0.0):.3f}s max)"],
+        ["fsyncs",
+         f"{flush.get('fsync_count', 0)} "
+         f"({flush.get('fsync_total_s', 0.0):.3f}s total, "
+         f"{flush.get('fsync_max_s', 0.0):.3f}s max)"],
         ["compactions",
          f"{compaction.get('count', 0)} "
          f"(auto {store.get('auto_compactions', 0)})"],
@@ -159,6 +163,16 @@ def _store_rows(store: dict) -> list[list[object]]:
          "-" if compaction.get("last_s") is None
          else round(compaction["last_s"], 3)],
     ]
+    if store.get("reconciled_records"):
+        rows.append(["reconciled records", store["reconciled_records"]])
+    spool = store.get("spool")
+    if spool is not None:
+        rows.append([
+            "fleet spool",
+            f"{spool.get('dirs', 0)} dir(s), {spool.get('files', 0)} "
+            f"file(s), {spool.get('bytes', 0)} bytes",
+        ])
+    return rows
 
 
 def _latency_rows(jobs: list[dict]) -> list[list[object]]:

@@ -1,0 +1,54 @@
+"""Sweep-as-a-service: an HTTP submit/stream front-end on the sweep
+orchestrator.
+
+A long-running, dependency-free service (stdlib ``http.server``) in
+front of the existing machinery: clients POST a sweep request — the
+same defenses × workloads × engines × attacks grammar the CLI speaks —
+and poll or stream its progress; results come from the shared
+content-addressed :class:`~repro.exp.ResultStore`, so re-submitting a
+completed spec is answered with zero jobs executed.
+
+Layers::
+
+    protocol.py   the JSON request grammar + the one SweepSpec builder
+                  shared with `repro sweep` (identical specs by
+                  construction)
+    service.py    SweepService: bounded dedup queue, worker threads
+                  over run_sweep, replay, graceful drain
+    http.py       ThreadingHTTPServer shell: POST /sweeps,
+                  GET /sweeps/<id> (?wait=, ?stream=1 NDJSON),
+                  GET /healthz, SIGTERM drain
+    client.py     urllib client used by `repro submit` / `repro status`
+
+Start one with ``repro serve``; drive it with ``repro submit`` /
+``repro status`` or plain ``curl``.
+"""
+
+from repro.serve.client import (
+    ServiceError,
+    healthz,
+    list_sweeps,
+    status,
+    stream,
+    submit,
+    wait_done,
+)
+from repro.serve.http import SweepHTTPServer, serve
+from repro.serve.protocol import SweepRequest, build_spec
+from repro.serve.service import SweepRecord, SweepService
+
+__all__ = [
+    "ServiceError",
+    "SweepHTTPServer",
+    "SweepRecord",
+    "SweepRequest",
+    "SweepService",
+    "build_spec",
+    "healthz",
+    "list_sweeps",
+    "serve",
+    "status",
+    "stream",
+    "submit",
+    "wait_done",
+]

@@ -1,0 +1,129 @@
+"""Stdlib client for the sweep service (``repro submit`` / ``status``).
+
+Thin ``urllib`` wrappers over the JSON endpoints in
+:mod:`repro.serve.http`; every helper takes the service base URL
+(``http://host:port``) and returns parsed payloads.  Error responses
+raise :class:`ServiceError` carrying the HTTP status and the server's
+JSON error body, so CLI callers can print exactly what the service
+said.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.errors import ReproError
+
+#: Default per-request timeout (seconds); long-polls add their wait.
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class ServiceError(ReproError):
+    """An error response (or no response) from the sweep service."""
+
+    def __init__(self, message: str, status: int | None = None,
+                 payload: dict | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+def _request(url: str, body: dict | None = None,
+             timeout: float = DEFAULT_TIMEOUT_S) -> dict:
+    data = None
+    headers = {"Accept": "application/json"}
+    if body is not None:
+        data = json.dumps(body).encode()
+        headers["Content-Type"] = "application/json"
+    try:
+        with urlopen(Request(url, data=data, headers=headers),
+                     timeout=timeout) as response:
+            return json.loads(response.read() or b"{}")
+    except HTTPError as exc:
+        try:
+            payload = json.loads(exc.read() or b"{}")
+        except json.JSONDecodeError:
+            payload = {}
+        message = payload.get("error") or f"HTTP {exc.code}"
+        raise ServiceError(
+            f"sweep service: {message}", status=exc.code, payload=payload
+        ) from None
+    except (URLError, OSError) as exc:
+        raise ServiceError(
+            f"cannot reach sweep service at {url}: {exc}"
+        ) from None
+
+
+def submit(base_url: str, payload: dict,
+           timeout: float = DEFAULT_TIMEOUT_S) -> dict:
+    """POST one sweep request; returns the status snapshot (which may
+    already be a zero-execution replay of a completed sweep)."""
+    return _request(f"{base_url.rstrip('/')}/sweeps", body=payload,
+                    timeout=timeout)
+
+
+def status(base_url: str, sweep_id: str, wait_s: float | None = None,
+           timeout: float = DEFAULT_TIMEOUT_S) -> dict:
+    url = f"{base_url.rstrip('/')}/sweeps/{sweep_id}"
+    if wait_s:
+        url += f"?wait={wait_s:g}"
+        timeout = timeout + wait_s
+    return _request(url, timeout=timeout)
+
+
+def wait_done(base_url: str, sweep_id: str, poll_s: float = 10.0,
+              timeout: float | None = None) -> dict:
+    """Long-poll until the sweep is terminal; returns the final
+    snapshot.  ``timeout=None`` waits indefinitely."""
+    import time
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        snapshot = status(base_url, sweep_id, wait_s=poll_s)
+        if snapshot.get("state") in ("done", "failed"):
+            return snapshot
+        if deadline is not None and time.monotonic() >= deadline:
+            raise ServiceError(
+                f"sweep {sweep_id[:12]} still {snapshot.get('state')!r} "
+                f"after {timeout:g}s"
+            )
+
+
+def stream(base_url: str, sweep_id: str,
+           timeout: float = DEFAULT_TIMEOUT_S) -> Iterator[dict]:
+    """Yield NDJSON progress events, ending with the ``type: "status"``
+    final snapshot line."""
+    url = f"{base_url.rstrip('/')}/sweeps/{sweep_id}?stream=1"
+    try:
+        with urlopen(Request(url, headers={"Accept": "application/x-ndjson"}),
+                     timeout=timeout) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+    except HTTPError as exc:
+        try:
+            payload = json.loads(exc.read() or b"{}")
+        except json.JSONDecodeError:
+            payload = {}
+        raise ServiceError(
+            f"sweep service: {payload.get('error') or f'HTTP {exc.code}'}",
+            status=exc.code, payload=payload,
+        ) from None
+    except (URLError, OSError) as exc:
+        raise ServiceError(
+            f"cannot reach sweep service at {base_url}: {exc}"
+        ) from None
+
+
+def healthz(base_url: str, timeout: float = DEFAULT_TIMEOUT_S) -> dict:
+    return _request(f"{base_url.rstrip('/')}/healthz", timeout=timeout)
+
+
+def list_sweeps(base_url: str,
+                timeout: float = DEFAULT_TIMEOUT_S) -> list[dict]:
+    return _request(f"{base_url.rstrip('/')}/sweeps",
+                    timeout=timeout).get("sweeps", [])

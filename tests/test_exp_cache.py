@@ -277,3 +277,132 @@ class TestAutoCompaction:
         reopened = ResultStore(tmp_path, auto_compact=False)
         assert reopened.auto_compactions == 0
         assert reopened.info().dead_records == AUTO_COMPACT_MIN_WASTE * 2 - 1
+
+
+class TestDurability:
+    def test_put_fsyncs_and_counts(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_FSYNC", raising=False)
+        store = ResultStore(tmp_path)
+        store.put("k1", {"v": 1})
+        store.put("k2", {"v": 2})
+        assert store.fsync_count == 2
+        assert store.fsync_total_s >= 0.0
+        assert store.fsync_max_s <= store.fsync_total_s
+        flush = store.health()["flush"]
+        assert flush["fsync_count"] == 2
+        assert flush["fsync_total_s"] == store.fsync_total_s
+
+    def test_fsync_env_gate_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_FSYNC", "0")
+        store = ResultStore(tmp_path)
+        store.put("k1", {"v": 1})
+        assert store.fsync_count == 0
+        # Durability off still flushes and persists.
+        assert store.flush_count == 1
+        assert ResultStore(tmp_path).get("k1") == {"v": 1}
+
+
+class TestConcurrentWriters:
+    def test_put_absorbs_concurrent_appends(self, tmp_path):
+        ours = ResultStore(tmp_path)
+        ours.put("k1", {"v": 1})
+        theirs = ResultStore(tmp_path)  # second process, same flock
+        theirs.put("k2", {"v": 2})
+        # Our in-memory index predates their append; the next put must
+        # reconcile before writing, not clobber or miscount.
+        ours.put("k3", {"v": 3})
+        assert ours.reconciled_records == 1
+        assert ours.get("k2") == {"v": 2}
+        assert len(ours) == 3
+        # And the file holds exactly three live rows for any reader.
+        fresh = ResultStore(tmp_path)
+        assert sorted([k for k in ("k1", "k2", "k3") if k in fresh]) == [
+            "k1", "k2", "k3"
+        ]
+
+    def test_reconcile_is_visible_without_a_put(self, tmp_path):
+        ours = ResultStore(tmp_path)
+        ResultStore(tmp_path).put("k1", {"v": 1})
+        assert ours.reconcile() == 1
+        assert ours.get("k1") == {"v": 1}
+
+    def test_reconcile_survives_external_compaction(self, tmp_path):
+        ours = ResultStore(tmp_path)
+        ours.put("k1", {"v": 1})
+        ours.put("k1", {"v": 2})  # dead record; file shrinks on compact
+        other = ResultStore(tmp_path)
+        other.compact()
+        other.put("k2", {"v": 9})
+        ours.put("k3", {"v": 3})  # sees a shorter file -> full reload
+        assert ours.get("k2") == {"v": 9}
+        assert ours.get("k1") == {"v": 2}
+
+    def test_health_reports_reconciled(self, tmp_path):
+        ours = ResultStore(tmp_path)
+        ResultStore(tmp_path).put("k1", {"v": 1})
+        ours.put("k2", {"v": 2})
+        assert ours.health()["reconciled_records"] == 1
+
+
+class TestSpoolGc:
+    @staticmethod
+    def _make_spool(root, name, age_s, mtime_now):
+        from repro.exp.cache import spool_dir
+
+        d = spool_dir(root) / name
+        d.mkdir(parents=True)
+        (d / "batch-0.jobs.pkl").write_bytes(b"x" * 64)
+        (d / "batch-0.hb").write_bytes(b"")
+        import os
+
+        for p in (d, *(d.iterdir())):
+            os.utime(p, (mtime_now - age_s, mtime_now - age_s))
+        return d
+
+    def test_orphaned_spool_is_reclaimed(self, tmp_path):
+        import time
+
+        from repro.exp.cache import gc_spool, spool_usage
+
+        now = time.time()
+        old = self._make_spool(tmp_path, "fleet-deadbeef01", 7200.0, now)
+        usage = spool_usage(tmp_path)
+        assert usage["dirs"] == 1 and usage["bytes"] >= 64
+        removed, reclaimed = gc_spool(tmp_path, min_age_s=3600.0, now=now)
+        assert removed == 1 and reclaimed >= 64
+        assert not old.exists()
+        assert spool_usage(tmp_path)["dirs"] == 0
+
+    def test_live_spool_survives(self, tmp_path):
+        import time
+
+        from repro.exp.cache import gc_spool
+
+        now = time.time()
+        live = self._make_spool(tmp_path, "fleet-cafe000001", 7200.0, now)
+        # A running coordinator's heartbeat keeps one file fresh: the
+        # liveness guard must spare the whole directory.
+        import os
+
+        os.utime(live / "batch-0.hb", (now, now))
+        removed, _ = gc_spool(tmp_path, min_age_s=3600.0, now=now)
+        assert removed == 0 and live.exists()
+
+    def test_young_spool_survives(self, tmp_path):
+        import time
+
+        from repro.exp.cache import gc_spool
+
+        now = time.time()
+        young = self._make_spool(tmp_path, "fleet-beef000001", 10.0, now)
+        removed, _ = gc_spool(tmp_path, min_age_s=3600.0, now=now)
+        assert removed == 0 and young.exists()
+
+    def test_health_reports_spool_usage(self, tmp_path):
+        import time
+
+        self._make_spool(tmp_path, "fleet-aa00000001", 100.0, time.time())
+        store = ResultStore(tmp_path)
+        spool = store.health()["spool"]
+        assert spool["dirs"] == 1 and spool["files"] == 2
+        assert spool["bytes"] >= 64

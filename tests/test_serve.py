@@ -1,0 +1,390 @@
+"""Tests for the sweep service: protocol, queue semantics, HTTP layer.
+
+The acceptance contract of the service is digest equality: a sweep
+submitted over HTTP must aggregate byte-identically to `repro sweep
+--backend serial`, and resubmitting a completed spec must execute zero
+jobs and report the same digest.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ReproError
+from repro.exp import ResultStore, run_sweep, sweep_digest
+from repro.obs import sweep_id_for
+from repro.serve import (
+    ServiceError,
+    SweepHTTPServer,
+    SweepRequest,
+    SweepService,
+    build_spec,
+    client,
+)
+
+#: One small grid shared by most tests (2 jobs: baseline + qprac).
+GRID = {"workloads": ["429.mcf"], "defenses": ["qprac"], "entries": 150}
+
+
+def serial_digest(tmp_path) -> str:
+    spec = build_spec(["429.mcf"], defenses=["qprac"], entries=150)
+    store = ResultStore(tmp_path / "serial-cache")
+    return sweep_digest(run_sweep(spec, store=store, backend="serial"))
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SweepService(cache_dir=tmp_path / "cache", workers=2).start()
+    yield svc
+    svc.stop(timeout=30.0)
+
+
+@pytest.fixture
+def http_service(tmp_path):
+    svc = SweepService(cache_dir=tmp_path / "cache", workers=2)
+    server = SweepHTTPServer(("127.0.0.1", 0), svc)
+    svc.start()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield svc, base
+    svc.stop(timeout=30.0)
+    server.shutdown()
+    server.server_close()
+
+
+class TestProtocol:
+    def test_defaults_mirror_the_cli(self):
+        request = SweepRequest.from_payload({"workloads": ["429.mcf"]})
+        assert request.entries == 5000
+        assert request.nbo == 32
+        assert request.n_mit == 1
+        assert request.seed == 0
+        assert request.engine == "event"
+        assert request.defenses is None  # -> the evaluated variants
+        assert request.backend == "serial"
+
+    def test_spec_identical_to_cli_builder(self):
+        request = SweepRequest.from_payload(GRID)
+        via_service = sweep_id_for(request.spec())
+        via_cli = sweep_id_for(
+            build_spec(["429.mcf"], defenses=["qprac"], entries=150)
+        )
+        assert via_service == via_cli
+
+    def test_run_options_stay_out_of_identity(self):
+        plain = SweepRequest.from_payload(GRID)
+        tweaked = SweepRequest.from_payload(
+            dict(GRID, backend="pool", jobs=4, trace=True)
+        )
+        assert sweep_id_for(plain.spec()) == sweep_id_for(tweaked.spec())
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ReproError, match="unknown submission field"):
+            SweepRequest.from_payload(dict(GRID, warkloads=["x"]))
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ReproError, match="JSON object"):
+            SweepRequest.from_payload(["429.mcf"])
+
+    def test_bad_types_rejected(self):
+        with pytest.raises(ReproError, match="list of strings"):
+            SweepRequest.from_payload({"workloads": "429.mcf"})
+        with pytest.raises(ReproError, match="integer"):
+            SweepRequest.from_payload(dict(GRID, entries="many"))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ReproError, match="workloads"):
+            SweepRequest.from_payload({})
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ReproError):
+            SweepRequest.from_payload({"workloads": ["no.such"]})
+
+    def test_faults_need_the_fleet_backend(self):
+        with pytest.raises(ReproError, match="remote-fleet"):
+            SweepRequest.from_payload(dict(GRID, faults="kill-worker"))
+
+    def test_bad_fault_plan_rejected(self):
+        with pytest.raises(ReproError):
+            SweepRequest.from_payload(dict(
+                GRID, backend="remote-fleet", faults="explode-everything"
+            ))
+
+    def test_payload_round_trip(self):
+        request = SweepRequest.from_payload(dict(GRID, jobs=2))
+        again = SweepRequest.from_payload(request.to_payload())
+        assert again == request
+
+
+class TestService:
+    def test_submit_runs_and_matches_serial_digest(self, service, tmp_path):
+        snapshot, code = service.submit(GRID)
+        assert code == 202
+        assert snapshot["state"] == "queued"
+        assert snapshot["total_jobs"] == 2
+        final = service.status(snapshot["sweep_id"], wait_s=120.0)
+        assert final["state"] == "done"
+        assert final["executed"] == 2
+        assert final["cache_hits"] == 0
+        assert final["digest"] == serial_digest(tmp_path)
+        assert final["aggregates"], "final payload carries the aggregates"
+
+    def test_duplicate_submission_replays_with_zero_executed(
+        self, service, tmp_path
+    ):
+        first, _ = service.submit(GRID)
+        done = service.status(first["sweep_id"], wait_s=120.0)
+        again, code = service.submit(GRID)
+        assert code == 200
+        assert again["replay"] is True
+        assert again["executed"] == 0
+        assert again["cache_hits"] == again["total_jobs"]
+        assert again["digest"] == done["digest"]
+        assert service.metrics.replays == 1
+
+    def test_partial_cache_resumes_byte_identically(self, service, tmp_path):
+        # Half the grid is already in the store (as after a coordinator
+        # killed mid-sweep): resubmission executes only the remainder
+        # and the digest still equals an uncached serial run.
+        warm = build_spec(["429.mcf"], defenses=None, entries=150)
+        subset = build_spec(["429.mcf"], defenses=["qprac"], entries=150)
+        run_sweep(subset, store=ResultStore(service.cache_dir))
+        snapshot, _ = service.submit({"workloads": ["429.mcf"],
+                                      "entries": 150})
+        final = service.status(snapshot["sweep_id"], wait_s=300.0)
+        assert final["state"] == "done"
+        assert final["cache_hits"] == 2  # baseline + qprac from the store
+        assert final["executed"] == final["total_jobs"] - 2
+        fresh = run_sweep(
+            warm, store=ResultStore(service.cache_dir / "fresh")
+        )
+        assert final["digest"] == sweep_digest(fresh)
+
+    def test_attach_while_queued(self, tmp_path):
+        svc = SweepService(cache_dir=tmp_path / "cache", workers=1)
+        # Not started: the record stays queued, the duplicate attaches.
+        first, code1 = svc.submit(GRID)
+        second, code2 = svc.submit(GRID)
+        assert (code1, code2) == (202, 202)
+        assert second["sweep_id"] == first["sweep_id"]
+        assert second["submissions"] == 2
+        assert svc.metrics.attached == 1
+        svc._stopped = True  # never started; nothing to drain
+
+    def test_invalid_submission_is_400(self, service):
+        snapshot, code = service.submit({"workloads": ["no.such"]})
+        assert code == 400
+        assert "no.such" in snapshot["error"] or snapshot["error"]
+        assert service.metrics.rejected == 1
+
+    def test_queue_limit_is_429(self, tmp_path):
+        svc = SweepService(cache_dir=tmp_path / "cache", queue_limit=1)
+        svc.submit(GRID)  # workers not started: stays queued
+        overflow, code = svc.submit(
+            {"workloads": ["470.lbm"], "entries": 150}
+        )
+        assert code == 429
+        assert "full" in overflow["error"]
+
+    def test_draining_rejects_with_503(self, service):
+        service.drain(timeout=30.0)
+        snapshot, code = service.submit(GRID)
+        assert code == 503
+        assert "drain" in snapshot["error"]
+
+    def test_failed_sweep_requeues_on_resubmit(self, service, monkeypatch):
+        import repro.exp
+
+        real_run_sweep = repro.exp.run_sweep
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("coordinator died")
+            return real_run_sweep(*args, **kwargs)
+
+        monkeypatch.setattr(repro.exp, "run_sweep", flaky)
+        snapshot, _ = service.submit(GRID)
+        failed = service.status(snapshot["sweep_id"], wait_s=120.0)
+        assert failed["state"] == "failed"
+        assert "coordinator died" in failed["error"]
+        assert service.metrics.failed == 1
+        retried, code = service.submit(GRID)
+        assert code == 202
+        final = service.status(snapshot["sweep_id"], wait_s=120.0)
+        assert final["state"] == "done"
+        assert final["digest"]
+
+    def test_status_unknown_id_is_none(self, service):
+        assert service.status("feedfacefeedface") is None
+
+    def test_status_by_prefix(self, service):
+        snapshot, _ = service.submit(GRID)
+        service.status(snapshot["sweep_id"], wait_s=120.0)
+        assert (
+            service.status(snapshot["sweep_id"][:8])["sweep_id"]
+            == snapshot["sweep_id"]
+        )
+
+    def test_events_cover_every_job(self, service):
+        snapshot, _ = service.submit(GRID)
+        service.status(snapshot["sweep_id"], wait_s=120.0)
+        events, seq, terminal = service.events_since(
+            snapshot["sweep_id"], 0
+        )
+        assert terminal
+        assert seq == len(events) == snapshot["total_jobs"]
+        assert {e["type"] for e in events} == {"job"}
+        assert sorted(e["index"] for e in events) == [0, 1]
+
+    def test_writes_sweep_trace_keyed_by_id(self, service):
+        from repro.obs import trace_path_for
+
+        snapshot, _ = service.submit(GRID)
+        final = service.status(snapshot["sweep_id"], wait_s=120.0)
+        expected = trace_path_for(service.cache_dir, snapshot["sweep_id"])
+        assert final["trace_path"] == str(expected)
+        assert expected.exists()
+
+
+class TestHTTP:
+    def test_healthz(self, http_service):
+        svc, base = http_service
+        health = client.healthz(base)
+        assert health["status"] == "ok"
+        assert health["metrics"]["submissions"] == 0
+        assert health["cache_dir"] == str(svc.cache_dir)
+
+    def test_submit_poll_digest_equality(self, http_service, tmp_path):
+        _svc, base = http_service
+        snapshot = client.submit(base, GRID)
+        final = client.wait_done(base, snapshot["sweep_id"], timeout=120.0)
+        assert final["state"] == "done"
+        assert final["digest"] == serial_digest(tmp_path)
+
+    def test_duplicate_over_http_replays(self, http_service):
+        _svc, base = http_service
+        first = client.submit(base, GRID)
+        client.wait_done(base, first["sweep_id"], timeout=120.0)
+        again = client.submit(base, GRID)
+        assert again["replay"] is True
+        assert again["executed"] == 0
+
+    def test_stream_ends_with_status_line(self, http_service):
+        _svc, base = http_service
+        snapshot = client.submit(base, GRID)
+        lines = list(client.stream(base, snapshot["sweep_id"],
+                                   timeout=120.0))
+        assert lines[-1]["type"] == "status"
+        assert lines[-1]["state"] == "done"
+        jobs = [l for l in lines if l.get("type") == "job"]
+        assert len(jobs) == snapshot["total_jobs"]
+
+    def test_unknown_sweep_404(self, http_service):
+        _svc, base = http_service
+        with pytest.raises(ServiceError) as exc:
+            client.status(base, "feedfacefeedface")
+        assert exc.value.status == 404
+
+    def test_invalid_body_400(self, http_service):
+        _svc, base = http_service
+        with pytest.raises(ServiceError) as exc:
+            client.submit(base, {"workloads": ["no.such"]})
+        assert exc.value.status == 400
+
+    def test_malformed_json_400(self, http_service):
+        _svc, base = http_service
+        request = urllib.request.Request(
+            f"{base}/sweeps", data=b"{nope",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=10)
+        assert exc.value.code == 400
+
+    def test_unknown_endpoint_404(self, http_service):
+        _svc, base = http_service
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(f"{base}/nope", timeout=10)
+        assert exc.value.code == 404
+
+    def test_drain_rejects_new_submissions(self, http_service):
+        svc, base = http_service
+        svc.drain(timeout=30.0)
+        assert client.healthz(base)["status"] == "draining"
+        with pytest.raises(ServiceError) as exc:
+            client.submit(base, GRID)
+        assert exc.value.status == 503
+
+    def test_chaos_fleet_through_the_service(self, http_service, tmp_path):
+        # The PR-8 chaos harness must keep passing through the service
+        # path: faults fire, the fleet recovers, the digest still
+        # matches a clean serial run.
+        _svc, base = http_service
+        snapshot = client.submit(base, dict(
+            GRID,
+            backend="remote-fleet",
+            hosts=["local"],
+            faults="kill-worker:times=1",
+        ))
+        final = client.wait_done(base, snapshot["sweep_id"], timeout=300.0)
+        assert final["state"] == "done"
+        assert final["digest"] == serial_digest(tmp_path)
+        assert final["fleet"]["hosts"]["local"]["status"] == "active"
+
+
+class TestCli:
+    def test_parser_has_service_commands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0", "--workers", "2"])
+        assert args.port == 0 and args.workers == 2
+        args = parser.parse_args([
+            "submit", "429.mcf", "--defenses", "qprac",
+            "--entries", "150", "--url", "http://h:1", "--print-digest",
+        ])
+        assert args.workloads == ["429.mcf"] and args.print_digest
+        args = parser.parse_args(["status", "abc123", "--watch"])
+        assert args.sweep_id == "abc123" and args.watch
+        args = parser.parse_args(["cache", "gc", "--spool-age", "60"])
+        assert args.spool_age == 60.0
+
+    def test_submission_payload_keeps_defaults_sparse(self):
+        from repro.cli import _submission_payload, build_parser
+
+        args = build_parser().parse_args(["submit", "429.mcf"])
+        payload = _submission_payload(args)
+        assert payload["workloads"] == ["429.mcf"]
+        assert "defenses" not in payload  # service default applies
+        assert "faults" not in payload
+
+    def test_submit_and_status_against_live_server(
+        self, http_service, capsys
+    ):
+        from repro.cli import main
+
+        _svc, base = http_service
+        rc = main([
+            "submit", "429.mcf", "--defenses", "qprac",
+            "--entries", "150", "--url", base, "--print-digest",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "aggregate sha256: " in out
+        digest = out.split("aggregate sha256: ")[1].strip()
+        rc = main(["status", "--url", base])
+        assert rc == 0
+        listing = capsys.readouterr().out
+        assert "done" in listing
+        rc = main(["status", "--url", base, "--print-digest",
+                   next(iter(_svc._records))])
+        assert rc == 0
+        assert digest in capsys.readouterr().out
